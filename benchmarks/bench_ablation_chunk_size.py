@@ -1,0 +1,12 @@
+"""Ablation A: pipeline chunk-size sweep (the paper's 64 KB tuning)."""
+
+from repro.bench import ablation_chunk_size
+from conftest import run_experiment
+
+
+def test_ablation_chunk_size(benchmark):
+    result = run_experiment(benchmark, ablation_chunk_size, scale="quick")
+    lat = {p["size"]: p["latency"] for p in result["points"]}
+    # The sweep is U-shaped: tiny chunks pay per-chunk overhead, giant
+    # chunks lose overlap. The optimum sits in the middle of the sweep.
+    assert min(lat) < result["best_chunk"] < max(lat)

@@ -1,0 +1,10 @@
+"""Ablation B: how much of the speedup needs independent GPU engines."""
+
+from repro.bench import ablation_engines
+from conftest import run_experiment
+
+
+def test_ablation_engines(benchmark):
+    result = run_experiment(benchmark, ablation_engines, scale="quick")
+    # Serializing pack/D2H/H2D on one engine must cost real time.
+    assert result["slowdown_factor"] > 1.1

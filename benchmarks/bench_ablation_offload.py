@@ -1,0 +1,12 @@
+"""Ablation C: isolate the GPU datatype-processing offload contribution."""
+
+from repro.bench import ablation_offload
+from conftest import run_experiment
+
+
+def test_ablation_offload(benchmark):
+    result = run_experiment(benchmark, ablation_offload, scale="quick")
+    # Offload must matter more as messages grow (more per-row DMA saved).
+    speedups = [p["speedup"] for p in result["points"]]
+    assert speedups[-1] > 3
+    assert all(s >= 0.9 for s in speedups)

@@ -1,0 +1,34 @@
+"""Figure 2 (+ Section I-A motivating numbers): pack-scheme latency."""
+
+import pytest
+
+from repro.baselines import measure_all_schemes
+from repro.bench import fig2_pack_schemes
+from conftest import run_experiment
+
+
+def test_fig2_pack_schemes(benchmark):
+    result = run_experiment(benchmark, fig2_pack_schemes, scale="quick")
+    large = result["large"][-1]
+    # Shape checks from the paper: the offloaded scheme wins big.
+    assert large["d2d2h_nc2c2c"] < large["d2h_nc2nc"] / 5
+    assert large["d2h_nc2c"] > large["d2h_nc2nc"]
+
+
+def test_motivating_numbers(benchmark):
+    """Section I-A: 4 KB vector costs ~200/281/35 us for options (a)/(b)/(c)."""
+
+    def run():
+        r = measure_all_schemes(4096)
+        r["text"] = (
+            "Section I-A (4 KB vector): "
+            f"(a) nc2nc {r['d2h_nc2nc']*1e6:.0f} us (paper 200), "
+            f"(b) nc2c {r['d2h_nc2c']*1e6:.0f} us (paper 281), "
+            f"(c) d2d2h {r['d2d2h_nc2c2c']*1e6:.0f} us (paper 35)"
+        )
+        return r
+
+    result = run_experiment(benchmark, run)
+    assert 150e-6 < result["d2h_nc2nc"] < 260e-6
+    assert 230e-6 < result["d2h_nc2c"] < 340e-6
+    assert 20e-6 < result["d2d2h_nc2c2c"] < 55e-6

@@ -1,0 +1,17 @@
+"""Figure 5: vector GPU-GPU latency, three designs."""
+
+from repro.bench import fig5_vector_latency
+from conftest import run_experiment
+
+
+def test_fig5_vector_latency(benchmark):
+    result = run_experiment(
+        benchmark, fig5_vector_latency, scale="quick", iterations=2
+    )
+    large = result["large"][-1]
+    # The paper's Figure 5 shape: the library and the hand-tuned pipeline
+    # are close; both crush the naive design at large sizes.
+    assert large["MV2-GPU-NC"] < large["Cpy2D+Send"] / 4
+    ratio = large["MV2-GPU-NC"] / large["Cpy2DAsync+CpyAsync+Isend"]
+    assert 0.5 < ratio < 1.5
+    assert result["improvement_at_largest"] > 80  # paper: 88%

@@ -1,0 +1,15 @@
+"""Figure 6: dimension-wise communication breakdown in Stencil2D-Def."""
+
+from repro.bench import fig6_breakdown
+from conftest import run_experiment
+
+
+def test_fig6_breakdown(benchmark):
+    result = run_experiment(benchmark, fig6_breakdown, scale="quick")
+    b = result["breakdown"]
+    # The paper's observation: non-contiguous device<->host movement (cuda,
+    # east/west) dominates the communication time.
+    ew_cuda = b["west_cuda"] + b["east_cuda"]
+    total_mpi = b["south_mpi"] + b["west_mpi"] + b["east_mpi"]
+    assert ew_cuda > total_mpi
+    assert b["east_cuda"] > b["south_cuda" if "south_cuda" in b else "east_mpi"]

@@ -1,0 +1,32 @@
+"""OSU-style streaming bandwidth (the paper's tuning methodology, Sec IV-B)."""
+
+import repro.bench.osu as osu
+from repro.bench import format_size, series_table, table
+from repro.hw import KiB, MiB
+
+
+def test_osu_bandwidth(benchmark):
+    def run():
+        sizes = [16 * KiB, 256 * KiB, 1 * MiB]
+        result = {"contiguous": [], "vector": []}
+        for layout in ("contiguous", "vector"):
+            for size in sizes:
+                bw = osu.osu_bw(size, space="device", layout=layout)
+                result[layout].append({"size": size, "bw_gbs": bw / 1e9})
+        rows = [
+            [format_size(c["size"]), f"{c['bw_gbs']:.2f}", f"{v['bw_gbs']:.2f}"]
+            for c, v in zip(result["contiguous"], result["vector"])
+        ]
+        result["text"] = table(
+            ["Size", "contiguous (GB/s)", "vector (GB/s)"], rows,
+            title="osu_bw, GPU device buffers (QDR link: 3.2 GB/s)",
+        )
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + result["text"])
+    # Contiguous streaming approaches the wire; strided is pack-bound.
+    big_c = result["contiguous"][-1]["bw_gbs"]
+    big_v = result["vector"][-1]["bw_gbs"]
+    assert big_c > 1.5
+    assert big_v < big_c

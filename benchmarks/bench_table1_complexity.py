@@ -1,0 +1,15 @@
+"""Table I: code-complexity comparison of the two Stencil2D variants."""
+
+from repro.bench import tab1_complexity
+from conftest import run_experiment
+
+
+def test_table1_complexity(benchmark):
+    result = run_experiment(benchmark, tab1_complexity)
+    # MV2-GPU-NC removes every CUDA staging call from the main loop.
+    assert result["dynamic_calls"]["mv2nc"]["cudaMemcpy"] == 0
+    assert result["dynamic_calls"]["mv2nc"]["cudaMemcpy2D"] == 0
+    assert result["dynamic_calls"]["def"]["cudaMemcpy"] == 4
+    assert result["dynamic_calls"]["def"]["cudaMemcpy2D"] == 4
+    # And shrinks the exchange code (paper: 36% fewer lines).
+    assert result["loc_reduction_percent"] > 15

@@ -1,0 +1,16 @@
+"""Table II: Stencil2D median step times, single precision."""
+
+from repro.bench import tab2_stencil
+from conftest import run_experiment
+
+
+def test_table2_stencil_sp(benchmark):
+    result = run_experiment(benchmark, tab2_stencil, scale="quick",
+                            iterations=2)
+    rows = {r["grid"]: r for r in result["rows"]}
+    # Every grid improves, and the non-contiguous-dominated grids improve
+    # more than the contiguous-only 8x1 grid (the paper's ordering).
+    for r in result["rows"]:
+        assert r["mv2nc"] <= r["def"]
+    assert rows["1x8"]["improvement_percent"] > rows["8x1"]["improvement_percent"]
+    assert rows["2x4"]["improvement_percent"] > rows["4x2"]["improvement_percent"]

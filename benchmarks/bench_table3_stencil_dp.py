@@ -1,0 +1,13 @@
+"""Table III: Stencil2D median step times, double precision."""
+
+from repro.bench import tab3_stencil
+from conftest import run_experiment
+
+
+def test_table3_stencil_dp(benchmark):
+    result = run_experiment(benchmark, tab3_stencil, scale="quick",
+                            iterations=2)
+    rows = {r["grid"]: r for r in result["rows"]}
+    for r in result["rows"]:
+        assert r["mv2nc"] <= r["def"]
+    assert rows["1x8"]["improvement_percent"] > rows["8x1"]["improvement_percent"]

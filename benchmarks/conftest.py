@@ -1,0 +1,32 @@
+"""Shared helpers for the per-figure/table benchmarks.
+
+Each benchmark runs one paper experiment at ``quick`` scale through
+pytest-benchmark (wall time of the simulation harness) and attaches the
+*simulated* results -- the numbers that correspond to the paper's figures --
+to ``benchmark.extra_info``. Regenerate full-scale paper tables with::
+
+    python -m repro.bench all --scale full
+"""
+
+import json
+
+import pytest
+
+
+def run_experiment(benchmark, fn, **kwargs):
+    """Run one experiment exactly once under pytest-benchmark."""
+    result = benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+    # Keep extra_info JSON-serializable and compact.
+    info = {k: v for k, v in result.items() if k != "text"}
+    benchmark.extra_info["simulated"] = json.loads(
+        json.dumps(info, default=_jsonify)
+    )
+    print("\n" + result["text"])
+    return result
+
+
+def _jsonify(obj):
+    try:
+        return float(obj)
+    except (TypeError, ValueError):
+        return str(obj)

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""3-D diffusion with six-face halo exchange on a Cartesian grid.
+
+The paper's introduction motivates GPU datatype support with 3-D finite
+element/difference data. This example decomposes a 3-D domain over a 2x2x2
+Cartesian communicator (``Cart_create``/``Cart_shift``) and runs a 7-point
+diffusion stencil. The six halo faces have three different layouts:
+
+* z faces: (almost) contiguous planes,
+* y faces: strided rows -- one ``cudaMemcpy2D``-shaped run per z-plane,
+* x faces: scattered single elements -- impossible to express as a 2-D
+  copy, exercising the engine's general gather-kernel offload.
+
+It compares the library datatype path against explicit ``MPI_Pack`` /
+``MPI_Unpack`` staging and validates both against a single-process
+reference.
+
+Run::
+
+    python examples/diffusion3d.py
+"""
+
+import numpy as np
+
+from repro.apps import Halo3DConfig, reference_diffusion3d, run_halo3d
+from repro.apps.halo3d import _face_types
+
+
+def main():
+    proc_dims, local, iters = (2, 2, 2), (24, 20, 16), 4
+
+    # Show the three face layouts the engine has to handle.
+    faces = _face_types(Halo3DConfig(proc_dims=proc_dims, local=local))
+    print("Halo face layouts (per process):")
+    for name in ("z-", "y-", "x-"):
+        t = faces[name]["send"]
+        segs = t.segments
+        uniform = segs.uniform()
+        kind = (
+            "contiguous" if segs.count == 1
+            else f"uniform 2-D ({uniform[1]} rows)" if uniform
+            else f"scattered ({segs.count} segments -> gather kernel)"
+        )
+        print(f"  {name} face: {t.size:6d} B, {kind}")
+    print()
+
+    for variant in ("mv2nc", "pack"):
+        cfg = Halo3DConfig(proc_dims=proc_dims, local=local,
+                           iterations=iters, variant=variant)
+        res = run_halo3d(cfg)
+
+        rng = np.random.default_rng(cfg.seed)
+        shape = tuple(p * n for p, n in zip(proc_dims, local))
+        want = reference_diffusion3d(
+            rng.random(shape, dtype=np.float32), iters
+        )
+        got = np.zeros_like(want)
+        pz, py, px = proc_dims
+        nz, ny, nx = local
+        for r in range(cfg.nprocs):
+            cz, cy, cx = r // (py * px), (r // px) % py, r % px
+            got[cz * nz:(cz + 1) * nz, cy * ny:(cy + 1) * ny,
+                cx * nx:(cx + 1) * nx] = res.interiors[r]
+        assert np.allclose(got, want), f"{variant} diverged!"
+        label = ("MPI datatypes (MV2-GPU-NC)" if variant == "mv2nc"
+                 else "explicit MPI_Pack/Unpack")
+        print(f"{label:>28}: {res.median_iteration_time * 1e3:.3f} simulated "
+              "ms/step (validated)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Distributed GPU matrix transpose: the all-to-all datatype workload.
+
+2-D FFTs and dense linear algebra transpose row-block-distributed matrices
+by exchanging a non-contiguous column block with every peer. With
+MV2-GPU-NC each block is one ``MPI_Isend`` with a subarray datatype on the
+device buffer; without it, every block needs its own blocking
+``cudaMemcpy2D`` staging round trip.
+
+Run::
+
+    python examples/distributed_transpose.py
+"""
+
+import numpy as np
+
+from repro.apps import TransposeConfig, run_transpose
+from repro.bench import table
+
+
+def main():
+    nprocs = 4
+    print(f"Transposing a row-block-distributed matrix over {nprocs} GPUs\n")
+
+    # Validate once at a size where the functional kernel is cheap.
+    cfg = TransposeConfig(nprocs=nprocs, n=128, variant="mv2nc")
+    res = run_transpose(cfg)
+    rng = np.random.default_rng(cfg.seed)
+    a = rng.random((128, 128), dtype=np.float32)
+    assert np.allclose(np.vstack(res.outputs), a.T)
+    print("128x128 functional run validated against numpy (A.T)\n")
+
+    rows = []
+    for n in (512, 1024, 2048, 4096):
+        times = {}
+        for variant in ("mv2nc", "staged"):
+            c = TransposeConfig(nprocs=nprocs, n=n, variant=variant,
+                                functional=False)
+            times[variant] = run_transpose(c).time
+        rows.append([
+            f"{n}x{n}",
+            f"{times['mv2nc'] * 1e3:.2f}",
+            f"{times['staged'] * 1e3:.2f}",
+            f"{times['staged'] / times['mv2nc']:.2f}x",
+        ])
+    print(table(
+        ["Matrix", "MV2-GPU-NC (ms)", "staged cudaMemcpy2D (ms)", "speedup"],
+        rows,
+        title=f"Distributed transpose, {nprocs} GPUs (simulated time)",
+    ))
+    print("\nEach rank exchanges a non-contiguous column block with every "
+          "peer;\nthe datatype path pipelines all of them concurrently.")
+
+
+if __name__ == "__main__":
+    main()

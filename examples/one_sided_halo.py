@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""One-sided halo exchange: the RMA flavour of the paper's workload.
+
+Instead of matched send/receive pairs, each rank *puts* its boundary
+directly into its neighbours' halo windows and a fence closes the epoch --
+the MPI-2 style that papers of this era (e.g. Gelado et al.'s DSM, which
+the paper contrasts itself with) motivated. Device-resident boundaries are
+staged through the GPU pack offload automatically.
+
+Run::
+
+    python examples/one_sided_halo.py
+"""
+
+import numpy as np
+
+from repro.mpi import BYTE, Datatype, FLOAT, run_world
+
+
+def main():
+    n = 512          # local row length (floats)
+    steps = 3
+
+    def program(ctx):
+        size, rank = ctx.size, ctx.rank
+        # Window layout per rank: [left halo | right halo], each n floats.
+        halo = ctx.node.malloc_host(2 * n * 4)
+        win = yield from ctx.comm.Win_create(halo)
+
+        # Device-resident boundary data (strided, exercising the offload).
+        vec = Datatype.vector(n, 1, 2, FLOAT).commit()
+        boundary = ctx.cuda.malloc(n * 8)
+        boundary.view(np.float32)[0::2] = rank * 1000 + np.arange(n)
+
+        yield from win.Fence()
+        for step in range(steps):
+            left = (rank - 1) % size
+            right = (rank + 1) % size
+            contig = Datatype.contiguous(n, FLOAT).commit()
+            # My boundary becomes my right neighbour's LEFT halo and my
+            # left neighbour's RIGHT halo.
+            yield from win.Put(boundary, 1, vec, target_rank=right,
+                               target_disp=0, target_dtype=contig,
+                               target_count=1)
+            yield from win.Put(boundary, 1, vec, target_rank=left,
+                               target_disp=n * 4, target_dtype=contig,
+                               target_count=1)
+            yield from win.Fence()
+        got_left = halo.view(np.float32)[:n]
+        got_right = halo.view(np.float32)[n:]
+        expect_left = ((rank - 1) % size) * 1000 + np.arange(n)
+        expect_right = ((rank + 1) % size) * 1000 + np.arange(n)
+        assert np.array_equal(got_left, expect_left.astype(np.float32))
+        assert np.array_equal(got_right, expect_right.astype(np.float32))
+        return ctx.now
+
+    times = run_world(program, 4)
+    print(f"4-rank one-sided ring halo, {steps} fenced epochs, "
+          f"{n * 4 >> 10} KiB strided device boundaries per direction")
+    print(f"validated on every rank; finished at t = {max(times) * 1e3:.3f} "
+          "simulated ms")
+    print("\nEach epoch: GPU pack offload -> RDMA write into the remote "
+          "window -> fence\n(counting handshake + barrier). No receive "
+          "calls anywhere.")
+
+
+if __name__ == "__main__":
+    main()

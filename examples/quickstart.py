@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: send a non-contiguous GPU vector between two ranks.
+
+This is the paper's Figure 4(c) in action: the application hands a device
+buffer and a derived datatype straight to ``MPI_Send``/``MPI_Recv``; the
+MV2-GPU-NC engine inside the library packs on the GPU, pipelines the
+transfer and unpacks on the far side.
+
+Run::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.mpi import FLOAT, Datatype, run_world
+
+
+def main():
+    rows = 1 << 18  # 256K elements -> a 1 MB packed message
+
+    def program(ctx):
+        # A strided column: one float per row of a two-column matrix.
+        vec = Datatype.vector(rows, 1, 2, FLOAT).commit()
+        buf = ctx.cuda.malloc(rows * 8)
+
+        if ctx.rank == 0:
+            # Fill the strided elements (this is "GPU memory": a simulated
+            # device arena backed by NumPy, so tests can check every byte).
+            view = buf.view(np.float32)
+            view[0::2] = np.arange(rows, dtype=np.float32)
+            t0 = ctx.now
+            yield from ctx.comm.Send(buf, 1, vec, dest=1, tag=7)
+            print(f"[rank 0] sent {vec.size >> 10} KiB non-contiguous "
+                  f"device data in {(ctx.now - t0) * 1e3:.2f} simulated ms")
+        else:
+            status = yield from ctx.comm.Recv(buf, 1, vec, source=0, tag=7)
+            got = buf.view(np.float32)[0::2]
+            ok = np.array_equal(got, np.arange(rows, dtype=np.float32))
+            print(f"[rank 1] received {status.count_bytes >> 10} KiB from "
+                  f"rank {status.source}; data intact: {ok}")
+            assert ok
+
+    run_world(program, nprocs=2)
+
+
+if __name__ == "__main__":
+    main()

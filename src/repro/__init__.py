@@ -1,0 +1,29 @@
+"""Simulation-based reproduction of "Optimized Non-contiguous MPI Datatype
+Communication for GPU Clusters" (Wang et al., IEEE CLUSTER 2011).
+
+Top-level convenience re-exports; see the subpackages for the full API:
+
+- :mod:`repro.sim` -- discrete-event simulation kernel
+- :mod:`repro.hw` -- calibrated hardware models (GPU, PCIe, nodes, cluster)
+- :mod:`repro.cuda` -- CUDA runtime emulation
+- :mod:`repro.ib` -- InfiniBand verbs and fabric
+- :mod:`repro.mpi` -- the MPI library (datatypes, p2p, collectives, worlds)
+- :mod:`repro.core` -- MV2-GPU-NC, the paper's contribution
+- :mod:`repro.baselines` -- the compared-against designs
+- :mod:`repro.apps` -- the SHOC Stencil2D port
+- :mod:`repro.bench` -- per-figure/table experiment harness
+"""
+
+from .hw import Cluster, HardwareConfig
+from .mpi import Datatype, MpiWorld, run_world
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "HardwareConfig",
+    "MpiWorld",
+    "Datatype",
+    "run_world",
+    "__version__",
+]

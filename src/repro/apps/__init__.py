@@ -1,0 +1,35 @@
+"""Application benchmarks: the SHOC Stencil2D port and its analysis."""
+
+from .complexity import ComplexityReport, analyze_complexity, count_calls, count_loc
+from .stencil2d import (
+    DIRECTIONS,
+    StencilConfig,
+    StencilResult,
+    reference_stencil,
+    run_stencil,
+)
+
+__all__ = [
+    "StencilConfig",
+    "StencilResult",
+    "run_stencil",
+    "reference_stencil",
+    "DIRECTIONS",
+    "ComplexityReport",
+    "analyze_complexity",
+    "count_loc",
+    "count_calls",
+]
+
+from .halo3d import Halo3DConfig, Halo3DResult, reference_diffusion3d, run_halo3d
+
+__all__ += [
+    "Halo3DConfig",
+    "Halo3DResult",
+    "run_halo3d",
+    "reference_diffusion3d",
+]
+
+from .transpose import TransposeConfig, TransposeResult, run_transpose
+
+__all__ += ["TransposeConfig", "TransposeResult", "run_transpose"]

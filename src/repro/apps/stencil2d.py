@@ -1,0 +1,397 @@
+"""SHOC Stencil2D ported to the simulated cluster (Section V-B).
+
+A two-dimensional nine-point stencil over an ``R x C`` process grid. Each
+process owns a ``(local_rows + 2) x (local_cols + 2)`` device array (one
+halo ring). Every iteration runs the stencil kernel on the GPU and then
+exchanges halos with up to four neighbours:
+
+* north/south halos are **contiguous** rows,
+* east/west halos are **non-contiguous** columns (row-major layout),
+
+which is exactly the communication structure the paper exploits.
+
+Two variants mirror the paper's comparison:
+
+``"def"`` (Stencil2D-Def)
+    The original SHOC style, Figure 4(a): blocking ``cudaMemcpy`` /
+    ``cudaMemcpy2D`` staging through host buffers plus host-datatype MPI.
+
+``"mv2nc"`` (Stencil2D-MV2-GPU-NC)
+    Figure 4(c): device buffers handed directly to ``MPI_Isend`` /
+    ``MPI_Irecv`` with derived datatypes; the library does the rest.
+
+The module reports per-iteration times and, for the Def variant, the
+per-direction cuda/mpi time breakdown of Figure 6. With
+``functional=True`` the kernel really computes, enabling validation
+against :func:`reference_stencil`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..hw import Cluster, HardwareConfig
+from ..mpi import Datatype, MpiWorld, wait_all
+
+__all__ = [
+    "StencilConfig",
+    "StencilResult",
+    "run_stencil",
+    "reference_stencil",
+    "DIRECTIONS",
+]
+
+DIRECTIONS = ("north", "south", "west", "east")
+
+#: SHOC Stencil2D kernel weights.
+W_CENTER, W_CARDINAL, W_DIAGONAL = 0.25, 0.15, 0.05
+#: Flops charged per stencil point (calibrated with
+#: ``HardwareConfig.device_compute_rate``; see DESIGN.md section 5).
+FLOPS_PER_POINT = 9.0
+#: Fermi C2050 double-precision slowdown for this memory-bound kernel.
+DOUBLE_PRECISION_FACTOR = 1.6
+
+
+@dataclass(frozen=True)
+class StencilConfig:
+    """One Stencil2D experiment."""
+
+    grid_rows: int
+    grid_cols: int
+    local_rows: int
+    local_cols: int
+    dtype: str = "float32"  # "float32" | "float64"
+    iterations: int = 5
+    variant: str = "mv2nc"  # "def" | "mv2nc"
+    #: When True the kernel and halos carry real data (validation mode);
+    #: when False only boundary strips are touched (large benchmark runs).
+    functional: bool = True
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.grid_rows < 1 or self.grid_cols < 1:
+            raise ValueError("process grid dimensions must be positive")
+        if self.local_rows < 1 or self.local_cols < 1:
+            raise ValueError("local matrix dimensions must be positive")
+        if self.variant not in ("def", "mv2nc"):
+            raise ValueError(f"unknown variant {self.variant!r}")
+        if self.dtype not in ("float32", "float64"):
+            raise ValueError(f"unsupported dtype {self.dtype!r}")
+        if self.iterations < 1:
+            raise ValueError("need at least one iteration")
+
+    @property
+    def nprocs(self) -> int:
+        return self.grid_rows * self.grid_cols
+
+    @property
+    def np_dtype(self):
+        return np.dtype(self.dtype)
+
+    @property
+    def elem_bytes(self) -> int:
+        return self.np_dtype.itemsize
+
+    def position(self, rank: int) -> Tuple[int, int]:
+        return divmod(rank, self.grid_cols)
+
+    def neighbors(self, rank: int) -> Dict[str, int]:
+        """Direction -> neighbour rank, for the directions that exist."""
+        pr, pc = self.position(rank)
+        out = {}
+        if pr > 0:
+            out["north"] = rank - self.grid_cols
+        if pr < self.grid_rows - 1:
+            out["south"] = rank + self.grid_cols
+        if pc > 0:
+            out["west"] = rank - 1
+        if pc < self.grid_cols - 1:
+            out["east"] = rank + 1
+        return out
+
+
+@dataclass
+class StencilResult:
+    """Per-rank measurements of one run."""
+
+    config: StencilConfig
+    #: iteration times, ``[rank][iteration]`` seconds
+    iteration_times: List[List[float]]
+    #: Def-variant breakdown: ``[rank][direction]["cuda"|"mpi"]`` seconds,
+    #: summed over iterations.
+    breakdown: List[Dict[str, Dict[str, float]]]
+    #: interior arrays (functional runs only), ``[rank]``
+    interiors: Optional[List[np.ndarray]] = None
+
+    @property
+    def median_iteration_time(self) -> float:
+        """Median over iterations of the per-iteration job time (the max
+        across ranks), matching Tables II/III."""
+        per_iter = np.max(np.asarray(self.iteration_times), axis=0)
+        return float(np.median(per_iter))
+
+
+def _make_types(cfg: StencilConfig):
+    """Halo datatypes.
+
+    North/south halos are contiguous interior-width rows. East/west halos
+    are strided columns spanning the FULL padded height (``local_rows+2``):
+    exchanging rows first and then full-height columns transports the
+    corner values the nine-point stencil's diagonal terms need, the same
+    two-phase scheme SHOC uses.
+    """
+    base = Datatype.named(cfg.np_dtype)
+    pitch_elems = cfg.local_cols + 2
+    row_t = Datatype.contiguous(cfg.local_cols, base).commit()
+    col_t = Datatype.vector(cfg.local_rows + 2, 1, pitch_elems, base).commit()
+    # Host-side mirror of the column halo used by the Def variant's staging
+    # buffers: same segment structure (still non-contiguous, so MPI still
+    # CPU-packs it) but densely pitched, so a 64 K-row halo does not drag a
+    # quarter-gigabyte address span through the simulator's host arena.
+    host_col_t = Datatype.vector(cfg.local_rows + 2, 1, 2, base).commit()
+    return base, row_t, col_t, host_col_t
+
+
+def _halo_offsets(cfg: StencilConfig):
+    """Element offsets of the send boundary and recv halo per direction."""
+    P = cfg.local_cols + 2
+    lr, lc = cfg.local_rows, cfg.local_cols
+    return {
+        # direction: (send_elem_offset, recv_elem_offset)
+        "north": (1 * P + 1, 0 * P + 1),
+        "south": (lr * P + 1, (lr + 1) * P + 1),
+        "west": (0 * P + 1, 0 * P + 0),
+        "east": (0 * P + lc, 0 * P + (lc + 1)),
+    }
+
+
+#: The two exchange phases: rows first, then full-height columns.
+_PHASES = (("north", "south"), ("west", "east"))
+
+
+def _stencil_apply(arr: np.ndarray) -> None:
+    """Functional nine-point stencil update of the interior (in place)."""
+    a = arr
+    new = (
+        W_CENTER * a[1:-1, 1:-1]
+        + W_CARDINAL * (a[:-2, 1:-1] + a[2:, 1:-1] + a[1:-1, :-2] + a[1:-1, 2:])
+        + W_DIAGONAL * (a[:-2, :-2] + a[:-2, 2:] + a[2:, :-2] + a[2:, 2:])
+    )
+    a[1:-1, 1:-1] = new
+
+
+def reference_stencil(
+    initial: np.ndarray, iterations: int
+) -> np.ndarray:
+    """Single-process reference: ``initial`` is the global interior array.
+
+    The global boundary condition is a fixed zero ring (halo values at the
+    outer edge never change), matching the distributed version.
+    """
+    padded = np.zeros(
+        (initial.shape[0] + 2, initial.shape[1] + 2), dtype=initial.dtype
+    )
+    padded[1:-1, 1:-1] = initial
+    for _ in range(iterations):
+        _stencil_apply(padded)
+    return padded[1:-1, 1:-1].copy()
+
+
+def _initial_global(cfg: StencilConfig) -> np.ndarray:
+    rng = np.random.default_rng(cfg.seed)
+    shape = (cfg.grid_rows * cfg.local_rows, cfg.grid_cols * cfg.local_cols)
+    return rng.random(shape, dtype=np.float32).astype(cfg.np_dtype)
+
+
+def exchange_mv2nc(ctx, cfg, dbuf, nbrs, dir_types, offsets, it, breakdown):
+    """Stencil2D-MV2-GPU-NC halo exchange (Figure 4(c)).
+
+    Device buffers and derived datatypes go straight into MPI calls; the
+    library pipelines everything. This function is also the subject of the
+    Table I complexity analysis.
+    """
+    esz = cfg.elem_bytes
+    for phase in _PHASES:
+        active = [d for d in phase if d in nbrs]
+        if not active:
+            continue
+        reqs = []
+        for d in active:
+            t = dir_types[d]
+            _, roff = offsets[d]
+            reqs.append(
+                ctx.comm.Irecv(
+                    dbuf.sub(roff * esz, t.span_for_count(1)), 1, t,
+                    source=nbrs[d], tag=100 + it,
+                )
+            )
+        for d in active:
+            t = dir_types[d]
+            soff, _ = offsets[d]
+            reqs.append(
+                ctx.comm.Isend(
+                    dbuf.sub(soff * esz, t.span_for_count(1)), 1, t,
+                    dest=nbrs[d], tag=100 + it,
+                )
+            )
+        t0 = ctx.now
+        yield from wait_all(reqs)
+        for d in active:
+            breakdown[d]["mpi"] += (ctx.now - t0) / len(active)
+
+
+def exchange_def(ctx, cfg, dbuf, nbrs, dir_types, host_types, offsets,
+                 host_stage, it, breakdown):
+    """Stencil2D-Def halo exchange (the original SHOC structure).
+
+    Post all receives, then per direction: blocking CUDA copy out of the
+    device, MPI send of the host staging buffer (a strided host buffer, so
+    the MPI library CPU-packs it), and after each receive completes, a
+    blocking CUDA copy back in. North/south rows use ``cudaMemcpy``;
+    east/west columns use ``cudaMemcpy2D``. This function is the Def
+    subject of the Table I complexity analysis.
+    """
+    esz = cfg.elem_bytes
+    P = cfg.local_cols + 2
+    for phase in _PHASES:
+        active = [d for d in phase if d in nbrs]
+        recv_reqs = {}
+        for d in active:
+            _, rstage = host_stage[d]
+            recv_reqs[d] = ctx.comm.Irecv(
+                rstage, 1, host_types[d], source=nbrs[d], tag=100 + it
+            )
+        for d in active:
+            soff, _ = offsets[d]
+            dspan = dir_types[d].span_for_count(1)
+            sstage, _ = host_stage[d]
+            tc = ctx.now
+            if d in ("north", "south"):
+                yield from ctx.cuda.memcpy(sstage, dbuf.sub(soff * esz, dspan))
+            else:
+                yield from ctx.cuda.memcpy2d(
+                    sstage, 2 * esz, dbuf.sub(soff * esz, dspan), P * esz,
+                    esz, cfg.local_rows + 2,
+                )
+            breakdown[d]["cuda"] += ctx.now - tc
+            tm = ctx.now
+            yield from ctx.comm.Send(
+                sstage, 1, host_types[d], dest=nbrs[d], tag=100 + it
+            )
+            breakdown[d]["mpi"] += ctx.now - tm
+        for d in active:
+            _, roff = offsets[d]
+            dspan = dir_types[d].span_for_count(1)
+            _, rstage = host_stage[d]
+            tm = ctx.now
+            yield from recv_reqs[d].wait()
+            breakdown[d]["mpi"] += ctx.now - tm
+            tc = ctx.now
+            if d in ("north", "south"):
+                yield from ctx.cuda.memcpy(dbuf.sub(roff * esz, dspan), rstage)
+            else:
+                yield from ctx.cuda.memcpy2d(
+                    dbuf.sub(roff * esz, dspan), P * esz, rstage, 2 * esz,
+                    esz, cfg.local_rows + 2,
+                )
+            breakdown[d]["cuda"] += ctx.now - tc
+
+
+def _stencil_program(ctx, cfg: StencilConfig, global_init: Optional[np.ndarray]):
+    """The per-rank program shared by both variants."""
+    rank = ctx.rank
+    pr, pc = cfg.position(rank)
+    nbrs = cfg.neighbors(rank)
+    base, row_t, col_t, host_col_t = _make_types(cfg)
+    esz = cfg.elem_bytes
+    P = cfg.local_cols + 2
+    span_elems = (cfg.local_rows + 2) * P
+    dbuf = ctx.cuda.malloc(span_elems * esz)
+    local_view = None
+    if cfg.functional:
+        local = np.zeros((cfg.local_rows + 2, P), dtype=cfg.np_dtype)
+        assert global_init is not None
+        r0, c0 = pr * cfg.local_rows, pc * cfg.local_cols
+        local[1:-1, 1:-1] = global_init[
+            r0 : r0 + cfg.local_rows, c0 : c0 + cfg.local_cols
+        ]
+        dbuf.fill_from(local)
+        local_view = dbuf.view(cfg.np_dtype).reshape(cfg.local_rows + 2, P)
+
+    offsets = _halo_offsets(cfg)
+    dir_types = {"north": row_t, "south": row_t, "west": col_t, "east": col_t}
+    host_types = {"north": row_t, "south": row_t, "west": host_col_t,
+                  "east": host_col_t}
+    flops = (
+        cfg.local_rows * cfg.local_cols * FLOPS_PER_POINT
+        * (DOUBLE_PRECISION_FACTOR if cfg.dtype == "float64" else 1.0)
+    )
+    breakdown = {d: {"cuda": 0.0, "mpi": 0.0} for d in DIRECTIONS}
+
+    # Def-variant host staging, one pair of buffers per direction.
+    host_stage = {}
+    if cfg.variant == "def":
+        for d in nbrs:
+            span = host_types[d].span_for_count(1)
+            host_stage[d] = (
+                ctx.node.malloc_host(span),  # send staging
+                ctx.node.malloc_host(span),  # recv staging
+            )
+
+    yield from ctx.comm.Barrier()
+    iter_times = []
+    for it in range(cfg.iterations):
+        t_iter = ctx.now
+        # -- halo exchange (bring neighbour boundaries in first) -------------
+        if cfg.variant == "mv2nc":
+            yield from exchange_mv2nc(
+                ctx, cfg, dbuf, nbrs, dir_types, offsets, it, breakdown
+            )
+        else:
+            yield from exchange_def(
+                ctx, cfg, dbuf, nbrs, dir_types, host_types, offsets,
+                host_stage, it, breakdown,
+            )
+
+        # -- kernel ---------------------------------------------------------
+        apply_fn = None
+        if cfg.functional:
+            view = local_view
+
+            def apply_fn(v=view):
+                _stencil_apply(v)
+
+        ctx.cuda.launch_kernel(flops, apply_fn=apply_fn, label=f"stencil[{it}]")
+        yield from ctx.cuda.device_synchronize()
+        iter_times.append(ctx.now - t_iter)
+
+    interior = None
+    if cfg.functional:
+        interior = (
+            dbuf.view(cfg.np_dtype)
+            .reshape(cfg.local_rows + 2, P)[1:-1, 1:-1]
+            .copy()
+        )
+    return {"times": iter_times, "breakdown": breakdown, "interior": interior}
+
+
+def run_stencil(
+    cfg: StencilConfig,
+    hw: Optional[HardwareConfig] = None,
+    world_kwargs: Optional[dict] = None,
+) -> StencilResult:
+    """Run one Stencil2D configuration and collect measurements."""
+    global_init = _initial_global(cfg) if cfg.functional else None
+    cluster = Cluster(cfg.nprocs, cfg=hw, functional=cfg.functional)
+    world = MpiWorld(cluster, nprocs=cfg.nprocs, **(world_kwargs or {}))
+    outs = world.run(_stencil_program, cfg, global_init)
+    return StencilResult(
+        config=cfg,
+        iteration_times=[o["times"] for o in outs],
+        breakdown=[o["breakdown"] for o in outs],
+        interiors=[o["interior"] for o in outs] if cfg.functional else None,
+    )

@@ -1,0 +1,170 @@
+"""Distributed matrix transpose on GPUs: the all-to-all datatype workload.
+
+Transposing a row-block-distributed matrix is the communication kernel of
+2-D FFTs and many linear-algebra codes: every rank exchanges a
+*non-contiguous column block* with every other rank. Without library
+datatype support each of the ``p - 1`` blocks needs its own pack staging;
+with MV2-GPU-NC each block is one ``Isend`` with a subarray datatype on the
+device buffer.
+
+Layout. The global ``N x N`` matrix is distributed by row blocks: rank
+``r`` owns rows ``[r*nr, (r+1)*nr)`` as an ``(nr, N)`` device array. The
+transpose proceeds in two steps:
+
+1. **exchange**: rank ``r`` sends its column block ``j`` (an ``(nr, nr)``
+   subarray -- non-contiguous in the row-major local array) to rank ``j``;
+   the receives land in an ``(nr, N)`` intermediate, block ``i`` from rank
+   ``i``;
+2. **local transpose kernel**: each received ``(nr, nr)`` block is
+   transposed in place on the GPU.
+
+Two variants: ``"mv2nc"`` sends the subarray datatypes directly;
+``"staged"`` packs each block through host staging with blocking
+``cudaMemcpy2D`` (the pre-datatype workflow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..hw import Cluster, HardwareConfig
+from ..mpi import Datatype, MpiWorld, wait_all
+
+__all__ = ["TransposeConfig", "TransposeResult", "run_transpose"]
+
+
+@dataclass(frozen=True)
+class TransposeConfig:
+    """One distributed-transpose experiment."""
+
+    nprocs: int
+    n: int  # global matrix dimension (divisible by nprocs)
+    dtype: str = "float32"
+    variant: str = "mv2nc"  # "mv2nc" | "staged"
+    functional: bool = True
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.nprocs < 1:
+            raise ValueError("need at least one process")
+        if self.n % self.nprocs:
+            raise ValueError(
+                f"matrix dimension {self.n} not divisible by {self.nprocs} ranks"
+            )
+        if self.variant not in ("mv2nc", "staged"):
+            raise ValueError(f"unknown variant {self.variant!r}")
+        if self.dtype not in ("float32", "float64"):
+            raise ValueError(f"unsupported dtype {self.dtype!r}")
+
+    @property
+    def block(self) -> int:
+        return self.n // self.nprocs
+
+    @property
+    def np_dtype(self):
+        return np.dtype(self.dtype)
+
+
+@dataclass
+class TransposeResult:
+    config: TransposeConfig
+    elapsed: List[float]  # per-rank wall time of the transpose
+    outputs: Optional[List[np.ndarray]]
+
+    @property
+    def time(self) -> float:
+        return max(self.elapsed)
+
+
+def _transpose_program(ctx, cfg: TransposeConfig, global_a: Optional[np.ndarray]):
+    rank, size = ctx.rank, ctx.size
+    nr, n = cfg.block, cfg.n
+    esz = cfg.np_dtype.itemsize
+    base = Datatype.named(cfg.np_dtype)
+    a_buf = ctx.cuda.malloc(nr * n * esz)
+    b_buf = ctx.cuda.malloc(nr * n * esz)
+    if cfg.functional:
+        a_buf.fill_from(global_a[rank * nr:(rank + 1) * nr, :])
+
+    # (nr, nr) column block j of the (nr, n) local array, as a subarray.
+    def block_type(j):
+        return Datatype.subarray([nr, n], [nr, nr], [0, j * nr], base).commit()
+
+    yield from ctx.comm.Barrier()
+    t0 = ctx.now
+    if cfg.variant == "mv2nc":
+        reqs = []
+        for peer in range(size):
+            reqs.append(ctx.comm.Irecv(b_buf, 1, block_type(peer),
+                                       source=peer, tag=500))
+        for peer in range(size):
+            reqs.append(ctx.comm.Isend(a_buf, 1, block_type(peer),
+                                       dest=peer, tag=500))
+        yield from wait_all(reqs)
+    else:
+        # Pre-datatype workflow: blocking cudaMemcpy2D packs each block to
+        # the host, contiguous sends, then blocking unpack on arrival.
+        from ..mpi import BYTE
+
+        stage_out = [ctx.node.malloc_host(nr * nr * esz) for _ in range(size)]
+        stage_in = [ctx.node.malloc_host(nr * nr * esz) for _ in range(size)]
+        recv_reqs = []
+        for peer in range(size):
+            recv_reqs.append(ctx.comm.Irecv(stage_in[peer], nr * nr * esz,
+                                            BYTE, source=peer, tag=500))
+        for peer in range(size):
+            yield from ctx.cuda.memcpy2d(
+                stage_out[peer], nr * esz,
+                a_buf.sub(peer * nr * esz), n * esz,
+                nr * esz, nr,
+            )
+            yield from ctx.comm.Send(stage_out[peer], nr * nr * esz, BYTE,
+                                     dest=peer, tag=500)
+        for peer in range(size):
+            yield from recv_reqs[peer].wait()
+            yield from ctx.cuda.memcpy2d(
+                b_buf.sub(peer * nr * esz), n * esz,
+                stage_in[peer], nr * esz,
+                nr * esz, nr,
+            )
+
+    # Local per-block transpose kernel (2 reads + 2 writes per element).
+    apply_fn = None
+    if cfg.functional:
+        view = b_buf.view(cfg.np_dtype).reshape(nr, n)
+
+        def apply_fn(v=view):
+            for i in range(size):
+                blk = v[:, i * nr:(i + 1) * nr]
+                blk[:] = blk.T.copy()
+
+    ctx.cuda.launch_kernel(nr * n * 2.0, apply_fn=apply_fn, label="transpose")
+    yield from ctx.cuda.device_synchronize()
+    elapsed = ctx.now - t0
+
+    out = None
+    if cfg.functional:
+        out = b_buf.view(cfg.np_dtype).reshape(nr, n).copy()
+    return {"elapsed": elapsed, "out": out}
+
+
+def run_transpose(
+    cfg: TransposeConfig, hw: Optional[HardwareConfig] = None
+) -> TransposeResult:
+    """Run one distributed transpose; outputs[r] is rank r's row block of
+    the transposed matrix (functional runs)."""
+    global_a = None
+    if cfg.functional:
+        rng = np.random.default_rng(cfg.seed)
+        global_a = rng.random((cfg.n, cfg.n), dtype=np.float32).astype(cfg.np_dtype)
+    cluster = Cluster(cfg.nprocs, cfg=hw, functional=cfg.functional)
+    world = MpiWorld(cluster, nprocs=cfg.nprocs)
+    outs = world.run(_transpose_program, cfg, global_a)
+    return TransposeResult(
+        config=cfg,
+        elapsed=[o["elapsed"] for o in outs],
+        outputs=[o["out"] for o in outs] if cfg.functional else None,
+    )

@@ -1,0 +1,15 @@
+"""Baseline designs the paper compares against."""
+
+from .manual_pipeline import make_manual_pipeline_program, manual_pipeline_latency
+from .naive import make_naive_program, naive_vector_latency
+from .pack_schemes import PACK_SCHEMES, measure_all_schemes, measure_pack_scheme
+
+__all__ = [
+    "PACK_SCHEMES",
+    "measure_pack_scheme",
+    "measure_all_schemes",
+    "naive_vector_latency",
+    "make_naive_program",
+    "manual_pipeline_latency",
+    "make_manual_pipeline_program",
+]

@@ -1,0 +1,84 @@
+"""The "Cpy2D+Send" baseline of Figure 4(a).
+
+What a productivity-minded application developer writes today (2011):
+blocking ``cudaMemcpy2D`` to move the strided data to host memory, then a
+plain ``MPI_Send``/``MPI_Recv`` with a vector datatype over *host* buffers
+(the MPI library packs on the CPU), then a blocking ``cudaMemcpy2D`` to put
+the received data back on the device. No overlap anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..hw import HardwareConfig
+from ..mpi import BYTE, Datatype, run_world
+
+__all__ = ["naive_vector_latency", "make_naive_program"]
+
+
+def make_naive_program(rows: int, elem_bytes: int = 4, stride_factor: int = 2,
+                       iterations: int = 3, verify: bool = True):
+    """Build the Figure 4(a) rank program for a 1x2 process grid.
+
+    Rank 0 sends a strided device vector to rank 1, which receives it into
+    an identically strided device buffer. Returns per-iteration latencies
+    measured at the sender (paper-style half round trip: the sender waits
+    for an acknowledgement byte so the measurement covers the full
+    delivery).
+    """
+    pitch = elem_bytes * stride_factor
+    span = rows * pitch
+    vec = Datatype.hvector(rows, elem_bytes, pitch, BYTE).commit()
+
+    def program(ctx):
+        dbuf = ctx.cuda.malloc(span)
+        # Host-side staging mirrors the device layout (Figure 1(a)).
+        hbuf = ctx.node.malloc_host(span)
+        ack = ctx.node.malloc_host(1)
+        other = 1 - ctx.rank
+        pattern = None
+        if verify and ctx.rank == 0:
+            pattern = np.random.default_rng(7).integers(0, 256, span, dtype=np.uint8)
+            dbuf.fill_from(pattern)
+        times = []
+        for it in range(iterations):
+            t0 = ctx.now
+            if ctx.rank == 0:
+                # D2H nc2nc, CPU-packed MPI send, then wait for the ack.
+                yield from ctx.cuda.memcpy2d(hbuf, pitch, dbuf, pitch,
+                                             elem_bytes, rows)
+                yield from ctx.comm.Send(hbuf, 1, vec, dest=other, tag=it)
+                yield from ctx.comm.Recv(ack, 1, BYTE, source=other, tag=1000 + it)
+            else:
+                yield from ctx.comm.Recv(hbuf, 1, vec, source=other, tag=it)
+                yield from ctx.cuda.memcpy2d(dbuf, pitch, hbuf, pitch,
+                                             elem_bytes, rows)
+                yield from ctx.comm.Send(ack, 1, BYTE, dest=other, tag=1000 + it)
+            times.append(ctx.now - t0)
+        if verify and ctx.rank == 1 and pattern is None:
+            want = np.random.default_rng(7).integers(0, 256, span, dtype=np.uint8)
+            got = dbuf.to_array(np.uint8).reshape(rows, pitch)[:, :elem_bytes]
+            assert np.array_equal(got, want.reshape(rows, pitch)[:, :elem_bytes]), \
+                "naive baseline corrupted the data"
+        return times
+
+    return program
+
+
+def naive_vector_latency(
+    message_bytes: int,
+    elem_bytes: int = 4,
+    cfg: Optional[HardwareConfig] = None,
+    iterations: int = 3,
+    verify: bool = True,
+) -> float:
+    """Median one-way latency (seconds) of the naive design."""
+    rows = message_bytes // elem_bytes
+    program = make_naive_program(rows, elem_bytes, iterations=iterations,
+                                 verify=verify)
+    results = run_world(program, 2, cfg=cfg)
+    times = results[0]
+    return float(np.median(times))

@@ -1,0 +1,117 @@
+"""The three non-contiguous packing schemes of Figure 1 / Figure 2.
+
+The paper's motivating experiment: move a strided vector (4-byte elements,
+one element per row) from GPU device memory to host memory, three ways:
+
+``d2h_nc2nc``
+    ``cudaMemcpy2D`` device->host, destination also strided (Figure 1(a)).
+    One DMA transaction per row crosses PCIe.
+
+``d2h_nc2c``
+    ``cudaMemcpy2D`` device->host packing into a contiguous host buffer
+    (Figure 1(b)). Still per-row DMA; measured *slower* than nc2nc on the
+    authors' testbed, which the calibrated model reproduces.
+
+``d2d2h_nc2c2c``
+    Flatten inside the device with a D2D 2-D copy, then one contiguous
+    ``cudaMemcpy`` to the host (Figure 1(c)). This is the offload building
+    block of MV2-GPU-NC.
+
+Each measurement runs on a fresh single-node cluster and verifies the
+packed bytes before reporting the simulated latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..cuda import CudaContext
+from ..hw import Cluster, HardwareConfig
+
+__all__ = ["PACK_SCHEMES", "measure_pack_scheme", "measure_all_schemes"]
+
+PACK_SCHEMES = ("d2h_nc2nc", "d2h_nc2c", "d2d2h_nc2c2c")
+
+
+def measure_pack_scheme(
+    scheme: str,
+    message_bytes: int,
+    elem_bytes: int = 4,
+    stride_factor: int = 2,
+    cfg: Optional[HardwareConfig] = None,
+    verify: bool = True,
+) -> float:
+    """Simulated latency (seconds) of packing ``message_bytes`` one way.
+
+    The layout matches the paper's microbenchmark: ``message_bytes /
+    elem_bytes`` rows of ``elem_bytes``, with stride ``stride_factor *
+    elem_bytes``.
+    """
+    if scheme not in PACK_SCHEMES:
+        raise ValueError(f"unknown scheme {scheme!r}; have {PACK_SCHEMES}")
+    if message_bytes % elem_bytes:
+        raise ValueError("message size must be a multiple of the element size")
+    rows = message_bytes // elem_bytes
+    pitch = elem_bytes * stride_factor
+
+    cluster = Cluster(1, cfg=cfg)
+    ctx = CudaContext(cluster.env, cluster.cfg, cluster.nodes[0], tracer=cluster.tracer)
+    span = rows * pitch
+    dsrc = ctx.malloc(span)
+    pattern = None
+    if verify:
+        pattern = np.random.default_rng(rows).integers(0, 256, span, dtype=np.uint8)
+        dsrc.fill_from(pattern)
+
+    def run():
+        t0 = ctx.env.now
+        if scheme == "d2h_nc2nc":
+            hdst = ctx.malloc_host(span)
+            yield from ctx.memcpy2d(hdst, pitch, dsrc, pitch, elem_bytes, rows)
+            out = hdst
+            packed = False
+        elif scheme == "d2h_nc2c":
+            hdst = ctx.malloc_host(message_bytes)
+            yield from ctx.memcpy2d(hdst, elem_bytes, dsrc, pitch, elem_bytes, rows)
+            out = hdst
+            packed = True
+        else:  # d2d2h_nc2c2c
+            dtmp = ctx.malloc(message_bytes)
+            done = ctx.memcpy2d_async(
+                dtmp, elem_bytes, dsrc, pitch, elem_bytes, rows
+            )
+            yield done
+            hdst = ctx.malloc_host(message_bytes)
+            yield from ctx.memcpy(hdst, dtmp)
+            out = hdst
+            packed = True
+        elapsed = ctx.env.now - t0
+        if verify and pattern is not None:
+            want = pattern.reshape(rows, pitch)[:, :elem_bytes]
+            if packed:
+                got = out.view()[:message_bytes].reshape(rows, elem_bytes)
+            else:
+                got = out.view().reshape(rows, pitch)[:, :elem_bytes]
+            if not np.array_equal(got, want):
+                raise AssertionError(f"scheme {scheme} corrupted the data")
+        return elapsed
+
+    proc = cluster.env.process(run())
+    return cluster.env.run(proc)
+
+
+def measure_all_schemes(
+    message_bytes: int,
+    elem_bytes: int = 4,
+    cfg: Optional[HardwareConfig] = None,
+    verify: bool = True,
+) -> Dict[str, float]:
+    """Latency of every scheme for one message size."""
+    return {
+        scheme: measure_pack_scheme(
+            scheme, message_bytes, elem_bytes=elem_bytes, cfg=cfg, verify=verify
+        )
+        for scheme in PACK_SCHEMES
+    }

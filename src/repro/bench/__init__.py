@@ -1,0 +1,55 @@
+"""Benchmark harness: per-figure/table experiment entry points."""
+
+from .experiments import (
+    EXPERIMENTS,
+    ablation_chunk_size,
+    ablation_engines,
+    ablation_interconnect,
+    ablation_offload,
+    fig3_pipeline_gantt,
+    fig2_pack_schemes,
+    fig5_vector_latency,
+    fig6_breakdown,
+    tab1_complexity,
+    tab2_stencil,
+    tab3_stencil,
+)
+from .osu import bandwidth_series, osu_bibw, osu_bw
+from .report import comparison_row, format_size, format_time, series_table, table
+from .timeline import engine_rows, overlap_stats, render_gantt
+from .vector_latency import (
+    FIG5_DESIGNS,
+    mv2_gpu_nc_latency,
+    vector_latency_point,
+    vector_latency_series,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "fig2_pack_schemes",
+    "fig5_vector_latency",
+    "fig6_breakdown",
+    "tab1_complexity",
+    "tab2_stencil",
+    "tab3_stencil",
+    "ablation_chunk_size",
+    "ablation_engines",
+    "ablation_offload",
+    "ablation_interconnect",
+    "fig3_pipeline_gantt",
+    "mv2_gpu_nc_latency",
+    "vector_latency_point",
+    "vector_latency_series",
+    "FIG5_DESIGNS",
+    "table",
+    "series_table",
+    "format_size",
+    "format_time",
+    "comparison_row",
+    "osu_bw",
+    "osu_bibw",
+    "bandwidth_series",
+    "render_gantt",
+    "overlap_stats",
+    "engine_rows",
+]

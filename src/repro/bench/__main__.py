@@ -1,0 +1,52 @@
+"""Command-line harness: regenerate any paper figure or table.
+
+Usage::
+
+    python -m repro.bench fig2 fig5 --scale quick
+    python -m repro.bench all --scale full
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's figures and tables "
+        "(CLUSTER 2011 MV2-GPU-NC reproduction).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment ids ({', '.join(EXPERIMENTS)}) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["full", "quick"],
+        default="full",
+        help="'full' = paper parameters (minutes); 'quick' = reduced (seconds)",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; have {list(EXPERIMENTS)}")
+
+    for name in names:
+        start = time.time()
+        result = EXPERIMENTS[name](scale=args.scale)
+        elapsed = time.time() - start
+        print(result["text"])
+        print(f"[{name} regenerated in {elapsed:.1f}s wall time]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

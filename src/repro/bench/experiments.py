@@ -1,0 +1,438 @@
+"""One entry point per paper figure/table (the experiment index of DESIGN.md).
+
+Every function returns a structured result dict **and** can render the
+paper-style table via :mod:`repro.bench.report`. Each accepts ``scale``:
+
+* ``"full"`` -- the paper's exact parameters (8 K x 8 K matrices, 4 MB
+  sweeps). Minutes of wall time per experiment.
+* ``"quick"`` -- same shapes at reduced sizes, for CI and
+  ``pytest-benchmark`` runs. Seconds of wall time.
+
+Run from the command line::
+
+    python -m repro.bench fig2 fig5 fig6 tab1 tab2 tab3
+    python -m repro.bench all --scale quick
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..apps import StencilConfig, analyze_complexity, run_stencil
+from ..baselines import measure_all_schemes
+from ..core import GpuNcConfig
+from ..hw import Cluster, HardwareConfig, KiB, MiB
+from ..mpi import MpiWorld
+from .report import comparison_row, format_size, format_time, series_table, table
+from .vector_latency import mv2_gpu_nc_latency, vector_latency_series
+
+__all__ = [
+    "fig2_pack_schemes",
+    "fig3_pipeline_gantt",
+    "ablation_offload",
+    "ablation_interconnect",
+    "fig5_vector_latency",
+    "fig6_breakdown",
+    "tab1_complexity",
+    "tab2_stencil",
+    "tab3_stencil",
+    "ablation_chunk_size",
+    "ablation_engines",
+    "EXPERIMENTS",
+]
+
+#: Paper message-size sweeps (Figures 2 and 5): small and large panels.
+SMALL_SIZES = [16, 64, 256, 1 * KiB, 4 * KiB]
+LARGE_SIZES = [4 * KiB, 16 * KiB, 64 * KiB, 256 * KiB, 1 * MiB, 4 * MiB]
+
+#: Tables II/III process grids with per-process matrix sizes, full scale.
+STENCIL_GRIDS_FULL = [
+    ("1x8", 1, 8, 65536, 1024),
+    ("8x1", 8, 1, 1024, 65536),
+    ("2x4", 2, 4, 8192, 8192),
+    ("4x2", 4, 2, 8192, 8192),
+]
+#: Same shapes scaled down 8x per dimension for quick runs.
+STENCIL_GRIDS_QUICK = [
+    ("1x8", 1, 8, 8192, 128),
+    ("8x1", 8, 1, 128, 8192),
+    ("2x4", 2, 4, 1024, 1024),
+    ("4x2", 4, 2, 1024, 1024),
+]
+
+
+def _sizes(scale: str) -> tuple:
+    if scale == "full":
+        return SMALL_SIZES, LARGE_SIZES
+    return [16, 256, 4 * KiB], [4 * KiB, 64 * KiB, 1 * MiB]
+
+
+# ---------------------------------------------------------------------------
+# Figure 2
+# ---------------------------------------------------------------------------
+
+def fig2_pack_schemes(scale: str = "full", verify: bool = True) -> dict:
+    """Figure 2: non-contiguous data pack performance, three schemes."""
+    small_sizes, large_sizes = _sizes(scale)
+    result = {"small": [], "large": []}
+    for panel, sizes in (("small", small_sizes), ("large", large_sizes)):
+        for size in sizes:
+            point = measure_all_schemes(size, verify=verify)
+            point["size"] = size
+            result[panel].append(point)
+    result["text"] = "\n\n".join(
+        series_table(
+            result[panel],
+            ["d2h_nc2nc", "d2h_nc2c", "d2d2h_nc2c2c"],
+            unit="us",
+            title=f"Figure 2({'a' if panel == 'small' else 'b'}): "
+            f"non-contiguous pack latency ({panel} messages)",
+        )
+        for panel in ("small", "large")
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 5
+# ---------------------------------------------------------------------------
+
+def fig5_vector_latency(scale: str = "full", verify: bool = True,
+                        iterations: int = 3) -> dict:
+    """Figure 5: vector GPU-GPU latency of the three designs."""
+    small_sizes, large_sizes = _sizes(scale)
+    result = {
+        "small": vector_latency_series(small_sizes, iterations=iterations,
+                                       verify=verify),
+        "large": vector_latency_series(large_sizes, iterations=iterations,
+                                       verify=verify),
+    }
+    big = result["large"][-1]
+    result["improvement_at_largest"] = (
+        100.0 * (big["Cpy2D+Send"] - big["MV2-GPU-NC"]) / big["Cpy2D+Send"]
+    )
+    result["text"] = "\n\n".join(
+        series_table(
+            result[panel],
+            ["Cpy2D+Send", "Cpy2DAsync+CpyAsync+Isend", "MV2-GPU-NC"],
+            unit="us",
+            title=f"Figure 5({'a' if panel == 'small' else 'b'}): "
+            f"vector communication latency ({panel} messages)",
+        )
+        for panel in ("small", "large")
+    ) + (
+        f"\n\nMV2-GPU-NC improvement over Cpy2D+Send at "
+        f"{format_size(big['size'])}: {result['improvement_at_largest']:.0f}% "
+        "(paper: 88% at 4M)"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 6
+# ---------------------------------------------------------------------------
+
+def fig6_breakdown(scale: str = "full") -> dict:
+    """Figure 6: per-direction communication breakdown at rank 1 of a 2x4
+    grid running Stencil2D-Def with single-precision data."""
+    n = 8192 if scale == "full" else 1024
+    cfg = StencilConfig(2, 4, n, n, iterations=3, variant="def",
+                        functional=False)
+    res = run_stencil(cfg)
+    # Rank 1 has south, west and east neighbours -- the paper's subject.
+    rank1 = res.breakdown[1]
+    rows = []
+    result = {"rank": 1, "grid": "2x4", "matrix": f"{n}x{n}", "breakdown": {}}
+    for direction in ("south", "west", "east"):
+        mpi = rank1[direction]["mpi"]
+        cuda = rank1[direction]["cuda"]
+        result["breakdown"][f"{direction}_mpi"] = mpi
+        result["breakdown"][f"{direction}_cuda"] = cuda
+        rows.append([direction, format_time(mpi, "us"), format_time(cuda, "us")])
+    result["text"] = table(
+        ["Direction", "mpi (us)", "cuda (us)"],
+        rows,
+        title=f"Figure 6: Stencil2D-Def comm breakdown, rank 1 of 2x4 grid, "
+        f"{n}x{n} fp32, {cfg.iterations} iterations",
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table I
+# ---------------------------------------------------------------------------
+
+def tab1_complexity(scale: str = "full") -> dict:
+    """Table I: main-loop complexity, Def vs MV2-GPU-NC."""
+    rep = analyze_complexity(dynamic=True)
+    rows = []
+    for call in ("MPI_Irecv", "MPI_Isend", "MPI_Send", "cudaMemcpy",
+                 "cudaMemcpy2D"):
+        rows.append([
+            call,
+            str(rep.dynamic_calls["def"].get(call, 0)),
+            str(rep.dynamic_calls["mv2nc"].get(call, 0)),
+        ])
+    rows.append(["Lines of code", str(rep.loc["def"]), str(rep.loc["mv2nc"])])
+    result = {
+        "loc": rep.loc,
+        "dynamic_calls": rep.dynamic_calls,
+        "loc_reduction_percent": rep.loc_reduction_percent,
+    }
+    result["text"] = table(
+        ["", "Stencil2D-Def", "Stencil2D-MV2-GPU-NC"],
+        rows,
+        title="Table I: per-iteration calls (interior rank) and exchange-code "
+        "size",
+    ) + (
+        f"\nLoC reduction: {rep.loc_reduction_percent:.0f}% (paper: 36%)"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Tables II and III
+# ---------------------------------------------------------------------------
+
+def _stencil_table(dtype: str, scale: str, iterations: int) -> dict:
+    grids = STENCIL_GRIDS_FULL if scale == "full" else STENCIL_GRIDS_QUICK
+    rows = []
+    result = {"rows": []}
+    for name, gr, gc, lr, lc in grids:
+        times = {}
+        for variant in ("def", "mv2nc"):
+            cfg = StencilConfig(gr, gc, lr, lc, dtype=dtype,
+                                iterations=iterations, variant=variant,
+                                functional=False)
+            times[variant] = run_stencil(cfg).median_iteration_time
+        improvement = 100 * (times["def"] - times["mv2nc"]) / times["def"]
+        result["rows"].append({
+            "grid": name, "matrix": f"{lr}x{lc}",
+            "def": times["def"], "mv2nc": times["mv2nc"],
+            "improvement_percent": improvement,
+        })
+        rows.append(comparison_row(f"{name} ({lr}x{lc})", times["def"],
+                                   times["mv2nc"], unit="s"))
+    num = "II" if dtype == "float32" else "III"
+    precision = "single" if dtype == "float32" else "double"
+    result["text"] = table(
+        ["Grid (matrix/process)", "Stencil2D-Def (s)",
+         "Stencil2D-MV2-GPU-NC (s)", "Improvement"],
+        rows,
+        title=f"Table {num}: median Stencil2D step time, {precision} "
+        f"precision, scale={scale}",
+    )
+    return result
+
+
+def tab2_stencil(scale: str = "full", iterations: int = 3) -> dict:
+    """Table II: Stencil2D median step times, single precision."""
+    return _stencil_table("float32", scale, iterations)
+
+
+def tab3_stencil(scale: str = "full", iterations: int = 3) -> dict:
+    """Table III: Stencil2D median step times, double precision."""
+    return _stencil_table("float64", scale, iterations)
+
+
+# ---------------------------------------------------------------------------
+# Ablations (ours)
+# ---------------------------------------------------------------------------
+
+def ablation_chunk_size(scale: str = "full", verify: bool = False) -> dict:
+    """Sweep the pipeline chunk size for a 4 MB vector transfer.
+
+    Reproduces the tuning experiment behind the paper's statement that
+    64 KB was the optimal block size on their cluster.
+    """
+    message = 4 * MiB if scale == "full" else 1 * MiB
+    chunks = [8 * KiB, 16 * KiB, 32 * KiB, 64 * KiB, 128 * KiB,
+              256 * KiB, 512 * KiB, 1 * MiB]
+    points = []
+    for chunk in chunks:
+        gpu_cfg = GpuNcConfig(chunk_bytes=chunk)
+        t = mv2_gpu_nc_latency(message, gpu_config=gpu_cfg, iterations=2,
+                               verify=verify)
+        points.append({"size": chunk, "latency": t})
+    best = min(points, key=lambda p: p["latency"])
+    result = {"message_bytes": message, "points": points,
+              "best_chunk": best["size"]}
+    result["text"] = series_table(
+        points, ["latency"], unit="us",
+        title=f"Ablation A: pipeline chunk-size sweep, "
+        f"{format_size(message)} vector (best: {format_size(best['size'])}; "
+        "paper tuned 64K)",
+    )
+    return result
+
+
+def ablation_engines(scale: str = "full", verify: bool = False) -> dict:
+    """Quantify how much of the win needs independent GPU engines.
+
+    Runs the same 4 MB vector transfer on the normal Fermi model (separate
+    H2D/D2H/exec engines) and on a single-engine GPU where pack, drain and
+    fill serialize.
+    """
+    message = 4 * MiB if scale == "full" else 1 * MiB
+    t_fermi = mv2_gpu_nc_latency(message, iterations=2, verify=verify)
+    t_single = mv2_gpu_nc_latency(
+        message, cfg=HardwareConfig.single_engine_gpu(), iterations=2,
+        verify=verify,
+    )
+    result = {
+        "message_bytes": message,
+        "fermi_3_engines": t_fermi,
+        "single_engine": t_single,
+        "slowdown_factor": t_single / t_fermi,
+    }
+    result["text"] = table(
+        ["GPU model", "latency (us)"],
+        [
+            ["Fermi (3 engines)", format_time(t_fermi, "us")],
+            ["single engine", format_time(t_single, "us")],
+        ],
+        title=f"Ablation B: engine concurrency, {format_size(message)} vector "
+        f"(single-engine slowdown: {result['slowdown_factor']:.2f}x)",
+    )
+    return result
+
+
+def fig3_pipeline_gantt(scale: str = "full") -> dict:
+    """Figure 3 (architecture): render the live five-stage pipeline.
+
+    Not a measured figure in the paper -- Figure 3 is the design diagram --
+    but the simulator can show the *actual* overlap the diagram promises:
+    an ASCII Gantt of every engine during one pipelined strided transfer.
+    """
+    from ..mpi import BYTE, Datatype
+    from .timeline import overlap_stats, render_gantt
+
+    rows = (1 << 18) if scale == "full" else (1 << 16)
+    vec = Datatype.hvector(rows, 4, 8, BYTE).commit()
+    cluster = Cluster(2)
+
+    def program(ctx):
+        buf = ctx.cuda.malloc(rows * 8)
+        if ctx.rank == 0:
+            yield from ctx.comm.Send(buf, 1, vec, dest=1)
+        else:
+            yield from ctx.comm.Recv(buf, 1, vec, source=0)
+
+    MpiWorld(cluster).run(program)
+    engines = [
+        "node0.gpu0.exec", "node0.gpu0.pcie.d2h", "hca0.tx",
+        "node1.gpu0.pcie.h2d", "node1.gpu0.exec",
+    ]
+    stats = overlap_stats(cluster.tracer, engines)
+    art = render_gantt(cluster.tracer, engines, width=70)
+    result = {
+        "overlap_factor": stats["overlap_factor"],
+        "wall_seconds": stats["wall"],
+    }
+    result["text"] = (
+        f"Figure 3: five-stage pipeline activity, {format_size(rows * 4)} "
+        f"strided vector\n\n{art}\n\noverlap factor "
+        f"{stats['overlap_factor']:.2f}x (1.0x would be fully serial)"
+    )
+    return result
+
+
+def ablation_offload(scale: str = "full", verify: bool = False) -> dict:
+    """Decompose the win: pipelining alone vs pipelining + GPU offload.
+
+    Runs the library path across the Figure 5 sizes twice -- once with
+    datatype processing offloaded to the GPU (the paper's design) and once
+    with the offload disabled (strided per-row PCIe copies, still fully
+    pipelined). The gap is the offload's own contribution, separating the
+    paper's two mechanisms.
+    """
+    _, large_sizes = _sizes(scale)
+    points = []
+    for size in large_sizes:
+        with_offload = mv2_gpu_nc_latency(size, iterations=2, verify=verify)
+        without = mv2_gpu_nc_latency(
+            size, iterations=2, verify=verify,
+            gpu_config=GpuNcConfig(use_gpu_offload=False),
+        )
+        points.append({
+            "size": size,
+            "offload": with_offload,
+            "no_offload": without,
+            "speedup": without / with_offload,
+        })
+    result = {"points": points}
+    rows = [
+        [format_size(p["size"]), format_time(p["offload"], "us"),
+         format_time(p["no_offload"], "us"), f"{p['speedup']:.1f}x"]
+        for p in points
+    ]
+    result["text"] = table(
+        ["Size", "with offload (us)", "no offload (us)", "offload speedup"],
+        rows,
+        title="Ablation C: GPU datatype-processing offload contribution "
+        "(both fully pipelined)",
+    )
+    return result
+
+
+def ablation_interconnect(scale: str = "full", verify: bool = False) -> dict:
+    """The paper's portability claim: the design wins on every RDMA fabric.
+
+    Repeats the 4 MB naive-vs-MV2-GPU-NC comparison on QDR InfiniBand (the
+    testbed), DDR InfiniBand and 10 GbE RoCE. The improvement should hold
+    everywhere -- the bottleneck the design removes (per-row PCIe DMA and
+    CPU packing) is independent of the wire.
+    """
+    from ..baselines import naive_vector_latency
+
+    message = 4 * MiB if scale == "full" else 1 * MiB
+    fabrics = {
+        "QDR InfiniBand": HardwareConfig.fermi_qdr(),
+        "DDR InfiniBand": HardwareConfig.fermi_ddr_ib(),
+        "RoCE 10GbE": HardwareConfig.fermi_roce(),
+    }
+    from .osu import osu_bw
+
+    rows = []
+    result = {"fabrics": {}}
+    for name, hw in fabrics.items():
+        naive = naive_vector_latency(message, cfg=hw, iterations=2,
+                                     verify=verify)
+        nc = mv2_gpu_nc_latency(message, cfg=hw, iterations=2, verify=verify)
+        wire = osu_bw(message, space="device", layout="contiguous", cfg=hw)
+        improvement = 100 * (naive - nc) / naive
+        result["fabrics"][name] = {
+            "naive": naive, "mv2nc": nc, "improvement_percent": improvement,
+            "contiguous_bw": wire,
+        }
+        rows.append([
+            name, f"{wire / 1e9:.2f}", format_time(naive, "us"),
+            format_time(nc, "us"), f"{improvement:.0f}%",
+        ])
+    result["text"] = table(
+        ["Fabric", "contig bw (GB/s)", "Cpy2D+Send (us)", "MV2-GPU-NC (us)",
+         "Improvement"],
+        rows,
+        title=f"Ablation D: interconnect sensitivity, "
+        f"{format_size(message)} vector (the win survives because the "
+        "removed bottleneck is PCIe-side, not the wire)",
+    )
+    return result
+
+
+#: Registry used by the CLI and the per-experiment benchmarks.
+EXPERIMENTS = {
+    "fig2": fig2_pack_schemes,
+    "fig3": fig3_pipeline_gantt,
+    "fig5": fig5_vector_latency,
+    "fig6": fig6_breakdown,
+    "tab1": tab1_complexity,
+    "tab2": tab2_stencil,
+    "tab3": tab3_stencil,
+    "ablA": ablation_chunk_size,
+    "ablB": ablation_engines,
+    "ablC": ablation_offload,
+    "ablD": ablation_interconnect,
+}

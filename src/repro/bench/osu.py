@@ -1,0 +1,138 @@
+"""OSU-microbenchmark-style measurements (the paper's tuning methodology).
+
+The paper's Section IV-B says the pipeline block size "can be tuned once by
+the system administrator during the time of installation by using OSU
+micro benchmarks". This module reproduces the two OSU measurement loops the
+MVAPICH2 team ships:
+
+* **osu_bw** -- unidirectional bandwidth: the sender keeps a window of
+  non-blocking sends in flight; the receiver pre-posts matching receives;
+  bandwidth = window bytes / window completion time.
+* **osu_bibw** -- bidirectional bandwidth: both ranks stream a window in
+  each direction simultaneously.
+
+Both support host or device buffers and contiguous or strided (vector)
+layouts, so the GPU pipeline's streaming behaviour (not just its latency)
+is measurable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..core import GpuNcConfig
+from ..hw import Cluster, HardwareConfig
+from ..mpi import BYTE, Datatype, MpiWorld, wait_all
+
+__all__ = ["osu_bw", "osu_bibw", "bandwidth_series"]
+
+#: OSU defaults: sends in flight per measured window.
+WINDOW_SIZE = 16
+#: Warm-up windows before measurement.
+SKIP_WINDOWS = 1
+#: Measured windows.
+MEASURE_WINDOWS = 4
+
+
+def _make_buffers(ctx, message_bytes: int, space: str, layout: str):
+    """Allocate a send/recv buffer pair and its datatype."""
+    if layout == "contiguous":
+        dtype = BYTE
+        count = message_bytes
+        span = max(message_bytes, 1)
+    elif layout == "vector":
+        # The paper's shape: 4-byte elements, stride 2.
+        rows = message_bytes // 4
+        dtype = Datatype.hvector(rows, 4, 8, BYTE).commit()
+        count = 1
+        span = max(rows * 8, 1)
+    else:
+        raise ValueError(f"unknown layout {layout!r}")
+    alloc = ctx.cuda.malloc if space == "device" else ctx.node.malloc_host
+    return alloc(span), alloc(span), dtype, count
+
+
+def _bw_program(message_bytes: int, space: str, layout: str, bidirectional: bool):
+    def program(ctx):
+        sbuf, rbuf, dtype, count = _make_buffers(ctx, message_bytes, space, layout)
+        other = 1 - ctx.rank
+        ack = ctx.node.malloc_host(1)
+        rates = []
+        for window in range(SKIP_WINDOWS + MEASURE_WINDOWS):
+            yield from ctx.comm.Barrier()
+            t0 = ctx.now
+            reqs = []
+            if ctx.rank == 0 or bidirectional:
+                reqs += [
+                    ctx.comm.Isend(sbuf, count, dtype, dest=other, tag=i)
+                    for i in range(WINDOW_SIZE)
+                ]
+            if ctx.rank == 1 or bidirectional:
+                reqs += [
+                    ctx.comm.Irecv(rbuf, count, dtype, source=other, tag=i)
+                    for i in range(WINDOW_SIZE)
+                ]
+            yield from wait_all(reqs)
+            # Close the window like osu_bw: a zero-byte handshake so the
+            # sender's clock covers full delivery.
+            if ctx.rank == 0:
+                yield from ctx.comm.Recv(ack, 0, BYTE, source=other, tag=999)
+            else:
+                yield from ctx.comm.Send(ack, 0, BYTE, dest=other, tag=999)
+            elapsed = ctx.now - t0
+            if window >= SKIP_WINDOWS and ctx.rank == 0:
+                total = WINDOW_SIZE * message_bytes
+                if bidirectional:
+                    total *= 2
+                rates.append(total / elapsed)
+        return rates
+
+    return program
+
+
+def _run(message_bytes, space, layout, bidirectional, cfg, gpu_config) -> float:
+    program = _bw_program(message_bytes, space, layout, bidirectional)
+    cluster = Cluster(2, cfg=cfg, functional=False)
+    world = MpiWorld(cluster, gpu_config=gpu_config)
+    results = world.run(program)
+    return float(np.median(results[0]))
+
+
+def osu_bw(
+    message_bytes: int,
+    space: str = "device",
+    layout: str = "vector",
+    cfg: Optional[HardwareConfig] = None,
+    gpu_config: Optional[GpuNcConfig] = None,
+) -> float:
+    """Unidirectional streaming bandwidth in bytes/second."""
+    return _run(message_bytes, space, layout, False, cfg, gpu_config)
+
+
+def osu_bibw(
+    message_bytes: int,
+    space: str = "device",
+    layout: str = "vector",
+    cfg: Optional[HardwareConfig] = None,
+    gpu_config: Optional[GpuNcConfig] = None,
+) -> float:
+    """Bidirectional streaming bandwidth in bytes/second."""
+    return _run(message_bytes, space, layout, True, cfg, gpu_config)
+
+
+def bandwidth_series(
+    sizes: List[int],
+    space: str = "device",
+    layout: str = "vector",
+    cfg: Optional[HardwareConfig] = None,
+) -> List[dict]:
+    """osu_bw over a size sweep; one dict per size."""
+    out = []
+    for size in sizes:
+        out.append({
+            "size": size,
+            "bw": osu_bw(size, space=space, layout=layout, cfg=cfg),
+        })
+    return out

@@ -1,0 +1,115 @@
+"""Vector GPU-GPU latency: the three designs of Figure 5.
+
+``Cpy2D+Send`` and ``Cpy2DAsync+CpyAsync+Isend`` come from
+:mod:`repro.baselines`; this module adds the MV2-GPU-NC measurement (the
+library path: plain ``MPI_Send``/``MPI_Recv`` on device buffers) and the
+combined series used by the Figure 5 benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..baselines import manual_pipeline_latency, naive_vector_latency
+from ..core import GpuNcConfig
+from ..hw import Cluster, HardwareConfig
+from ..mpi import BYTE, Datatype, MpiWorld
+
+__all__ = [
+    "mv2_gpu_nc_latency",
+    "vector_latency_point",
+    "vector_latency_series",
+    "FIG5_DESIGNS",
+]
+
+FIG5_DESIGNS = ("Cpy2D+Send", "Cpy2DAsync+CpyAsync+Isend", "MV2-GPU-NC")
+
+
+def make_nc_program(rows: int, elem_bytes: int = 4, stride_factor: int = 2,
+                    iterations: int = 3, verify: bool = True):
+    """Figure 4(c): three-line communication on device buffers."""
+    pitch = elem_bytes * stride_factor
+    span = rows * pitch
+    vec = Datatype.hvector(rows, elem_bytes, pitch, BYTE).commit()
+
+    def program(ctx):
+        dbuf = ctx.cuda.malloc(span)
+        ack = ctx.node.malloc_host(1)
+        other = 1 - ctx.rank
+        if verify and ctx.rank == 0:
+            pattern = np.random.default_rng(23).integers(0, 256, span, np.uint8)
+            dbuf.fill_from(pattern)
+        times = []
+        for it in range(iterations):
+            t0 = ctx.now
+            if ctx.rank == 0:
+                yield from ctx.comm.Send(dbuf, 1, vec, dest=other, tag=it)
+                yield from ctx.comm.Recv(ack, 1, BYTE, source=other, tag=900 + it)
+            else:
+                yield from ctx.comm.Recv(dbuf, 1, vec, source=other, tag=it)
+                yield from ctx.comm.Send(ack, 1, BYTE, dest=other, tag=900 + it)
+            times.append(ctx.now - t0)
+        if verify and ctx.rank == 1:
+            want = np.random.default_rng(23).integers(0, 256, span, np.uint8)
+            got = dbuf.to_array(np.uint8).reshape(rows, pitch)[:, :elem_bytes]
+            assert np.array_equal(
+                got, want.reshape(rows, pitch)[:, :elem_bytes]
+            ), "MV2-GPU-NC corrupted the data"
+        return times
+
+    return program
+
+
+def mv2_gpu_nc_latency(
+    message_bytes: int,
+    elem_bytes: int = 4,
+    cfg: Optional[HardwareConfig] = None,
+    gpu_config: Optional[GpuNcConfig] = None,
+    iterations: int = 3,
+    verify: bool = True,
+) -> float:
+    """Median one-way latency (seconds) of the library design."""
+    rows = message_bytes // elem_bytes
+    program = make_nc_program(rows, elem_bytes, iterations=iterations, verify=verify)
+    cluster = Cluster(2, cfg=cfg)
+    world = MpiWorld(cluster, gpu_config=gpu_config)
+    results = world.run(program)
+    return float(np.median(results[0]))
+
+
+def vector_latency_point(
+    message_bytes: int,
+    cfg: Optional[HardwareConfig] = None,
+    iterations: int = 3,
+    verify: bool = True,
+) -> Dict[str, float]:
+    """Latency of all three Figure 5 designs for one message size."""
+    return {
+        "Cpy2D+Send": naive_vector_latency(
+            message_bytes, cfg=cfg, iterations=iterations, verify=verify
+        ),
+        "Cpy2DAsync+CpyAsync+Isend": manual_pipeline_latency(
+            message_bytes, cfg=cfg, iterations=iterations, verify=verify
+        ),
+        "MV2-GPU-NC": mv2_gpu_nc_latency(
+            message_bytes, cfg=cfg, iterations=iterations, verify=verify
+        ),
+    }
+
+
+def vector_latency_series(
+    sizes: Iterable[int],
+    cfg: Optional[HardwareConfig] = None,
+    iterations: int = 3,
+    verify: bool = True,
+) -> List[dict]:
+    """The full Figure 5 sweep: one row per message size."""
+    rows = []
+    for size in sizes:
+        point = vector_latency_point(size, cfg=cfg, iterations=iterations,
+                                     verify=verify)
+        point["size"] = size
+        rows.append(point)
+    return rows

@@ -1,0 +1,25 @@
+"""MV2-GPU-NC: the paper's contribution.
+
+GPU-aware non-contiguous MPI datatype communication: device-buffer
+detection, datatype pack/unpack offloaded to the GPU, and the chunked
+five-stage pipeline (D2D pack -> D2H -> RDMA -> H2D -> D2D unpack).
+"""
+
+from .config import GpuNcConfig
+from .detect import buffer_location, is_device_ptr, is_host_ptr
+from .gpu_pack import gpu_pack_chunk, gpu_pack_cost, gpu_unpack_chunk
+from .pipeline import GpuNcEngine, LayoutPlan
+from .staging import TbufPool
+
+__all__ = [
+    "GpuNcConfig",
+    "GpuNcEngine",
+    "LayoutPlan",
+    "TbufPool",
+    "is_device_ptr",
+    "is_host_ptr",
+    "buffer_location",
+    "gpu_pack_chunk",
+    "gpu_unpack_chunk",
+    "gpu_pack_cost",
+]

@@ -1,0 +1,40 @@
+"""Tunables of the MV2-GPU-NC transfer engine.
+
+The paper exposes the pipeline block size as a library parameter tuned once
+per cluster by the administrator (64 KB was optimal on their testbed; our
+chunk-size ablation benchmark reproduces that sweep). Everything else here
+is pool sizing and the ablation switches used by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["GpuNcConfig"]
+
+
+@dataclass(frozen=True)
+class GpuNcConfig:
+    """Configuration of the GPU-aware non-contiguous transfer engine."""
+
+    #: Pipeline chunk ("block") size in bytes. The paper's tuned value.
+    chunk_bytes: int = 64 * 1024
+    #: Messages at most this large go as a single chunk (no pipelining).
+    pipeline_threshold: int = 64 * 1024
+    #: Device staging (tbuf) chunks available per endpoint.
+    tbuf_chunks: int = 64
+    #: When False, datatype processing is NOT offloaded: strided data is
+    #: pulled straight over PCIe with per-row DMA (the "D2H nc2c" scheme),
+    #: isolating the offload contribution in ablations.
+    use_gpu_offload: bool = True
+
+    def __post_init__(self) -> None:
+        if self.chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive")
+        if self.pipeline_threshold < 0:
+            raise ValueError("pipeline_threshold must be non-negative")
+        if self.tbuf_chunks < 1:
+            raise ValueError("tbuf_chunks must be >= 1")
+
+    def with_overrides(self, **kwargs) -> "GpuNcConfig":
+        return replace(self, **kwargs)

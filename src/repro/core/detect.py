@@ -1,0 +1,29 @@
+"""Unified-virtual-addressing style buffer detection.
+
+CUDA 4.0's UVA lets a library ask, for any pointer, whether it points into
+device or host memory (``cuPointerGetAttribute``). MVAPICH2 uses this to
+transparently reroute MPI calls whose buffers live on the GPU -- the
+feature that makes Figure 4(c)'s three-line program possible. Our
+simulated pointers carry their arena, so detection is exact.
+"""
+
+from __future__ import annotations
+
+from ..hw.memory import BufferPtr
+
+__all__ = ["is_device_ptr", "is_host_ptr", "buffer_location"]
+
+
+def is_device_ptr(buf: BufferPtr) -> bool:
+    """True when the buffer lives in GPU device memory."""
+    return buf.space == "device"
+
+
+def is_host_ptr(buf: BufferPtr) -> bool:
+    """True when the buffer lives in host memory."""
+    return buf.space == "host"
+
+
+def buffer_location(buf: BufferPtr) -> str:
+    """``"device"`` or ``"host"`` (the UVA attribute query)."""
+    return buf.space

@@ -1,0 +1,47 @@
+"""Device staging buffers (**tbuf**) for GPU-offloaded datatype processing.
+
+The sender packs non-contiguous data into tbuf chunks inside device memory
+(Figure 3, "D2D nc2c"); the receiver unpacks from tbuf chunks after the
+H2D stage. The pool is a fixed set of chunk-size device buffers; draining
+it blocks the pipeline, which is the engine's device-side flow control.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..hw.memory import BufferPtr
+from ..sim import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cuda.runtime import CudaContext
+
+__all__ = ["TbufPool"]
+
+
+class TbufPool:
+    """A pool of fixed-size device staging chunks for one endpoint."""
+
+    def __init__(self, cuda: "CudaContext", chunk_bytes: int, chunks: int):
+        if chunk_bytes <= 0 or chunks <= 0:
+            raise ValueError("tbuf pool needs positive chunk size and count")
+        self.cuda = cuda
+        self.chunk_bytes = chunk_bytes
+        self.count = chunks
+        self._backing = cuda.malloc(chunk_bytes * chunks)
+        self._store = Store(cuda.env, name=f"tbufs@{cuda.name}")
+        for i in range(chunks):
+            self._store.put(self._backing.sub(i * chunk_bytes, chunk_bytes))
+
+    @property
+    def available(self) -> int:
+        return len(self._store)
+
+    def acquire(self):
+        """Get one tbuf chunk (an event; yield it)."""
+        return self._store.get()
+
+    def release(self, buf: BufferPtr) -> None:
+        if buf.nbytes != self.chunk_bytes:
+            raise ValueError("released buffer is not a pool tbuf")
+        self._store.put(buf)

@@ -1,0 +1,20 @@
+"""CUDA runtime emulation: contexts, streams, events, memcpy family."""
+
+from .errors import (
+    CudaError,
+    CudaInvalidMemcpyDirection,
+    CudaInvalidValue,
+    CudaOutOfMemory,
+)
+from .runtime import CudaContext
+from .stream import CudaEvent, Stream
+
+__all__ = [
+    "CudaContext",
+    "Stream",
+    "CudaEvent",
+    "CudaError",
+    "CudaInvalidValue",
+    "CudaInvalidMemcpyDirection",
+    "CudaOutOfMemory",
+]

@@ -1,0 +1,27 @@
+"""CUDA-style error types for the runtime emulation."""
+
+from __future__ import annotations
+
+__all__ = [
+    "CudaError",
+    "CudaInvalidValue",
+    "CudaInvalidMemcpyDirection",
+    "CudaOutOfMemory",
+]
+
+
+class CudaError(RuntimeError):
+    """Base class for simulated CUDA runtime errors."""
+
+
+class CudaInvalidValue(CudaError):
+    """Mirrors ``cudaErrorInvalidValue``: bad sizes, pitches or pointers."""
+
+
+class CudaInvalidMemcpyDirection(CudaError):
+    """Mirrors ``cudaErrorInvalidMemcpyDirection``: the declared kind does
+    not match where the pointers actually live."""
+
+
+class CudaOutOfMemory(CudaError):
+    """Mirrors ``cudaErrorMemoryAllocation``."""

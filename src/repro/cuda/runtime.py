@@ -1,0 +1,283 @@
+"""The CUDA runtime context: memcpy family, kernels, streams, allocation.
+
+One :class:`CudaContext` binds a host process to a GPU, mirroring the CUDA
+runtime API surface the paper's code paths use:
+
+===============================  ============================================
+CUDA call                        Here
+===============================  ============================================
+``cudaMalloc``                   :meth:`CudaContext.malloc`
+``cudaMallocHost``               :meth:`CudaContext.malloc_host`
+``cudaMemcpy``                   ``yield from ctx.memcpy(...)``
+``cudaMemcpyAsync``              :meth:`CudaContext.memcpy_async`
+``cudaMemcpy2D``                 ``yield from ctx.memcpy2d(...)``
+``cudaMemcpy2DAsync``            :meth:`CudaContext.memcpy2d_async`
+``cudaStreamCreate``             :meth:`CudaContext.stream`
+``cudaStreamQuery``              :meth:`Stream.query`
+``cudaStreamSynchronize``        ``yield from stream.synchronize()``
+``cudaEventCreate``/``Record``   :meth:`CudaContext.event` / :meth:`CudaEvent.record`
+``cudaDeviceSynchronize``        ``yield from ctx.device_synchronize()``
+kernel launch                    :meth:`CudaContext.launch_kernel`
+===============================  ============================================
+
+Blocking calls are generators (they advance simulated time); asynchronous
+calls enqueue onto a stream and return the completion event immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..hw.config import CopyKind, HardwareConfig
+from ..hw.gpu import GPUDevice
+from ..hw.memory import BufferPtr, OutOfMemoryError
+from ..hw.node import Node
+from ..sim import Environment, Event, Tracer
+from .errors import CudaInvalidMemcpyDirection, CudaInvalidValue, CudaOutOfMemory
+from .stream import CudaEvent, Stream
+
+__all__ = ["CudaContext"]
+
+
+class CudaContext:
+    """Per-process CUDA runtime state bound to one GPU."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cfg: HardwareConfig,
+        node: Node,
+        gpu: Optional[GPUDevice] = None,
+        tracer: Optional[Tracer] = None,
+        name: str = "",
+    ):
+        self.env = env
+        self.cfg = cfg
+        self.node = node
+        self.gpu = gpu if gpu is not None else node.gpu
+        if self.gpu.node is not node:
+            raise CudaInvalidValue("GPU does not belong to this node")
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.name = name or f"cuda@{self.gpu.name}"
+        self.default_stream = Stream(env, name=f"{self.name}.default", tracer=self.tracer)
+        self._streams: List[Stream] = [self.default_stream]
+
+    # -- allocation --------------------------------------------------------------
+    def malloc(self, nbytes: int) -> BufferPtr:
+        """``cudaMalloc``: allocate device memory."""
+        try:
+            return self.gpu.malloc(nbytes)
+        except OutOfMemoryError as exc:
+            raise CudaOutOfMemory(str(exc)) from exc
+
+    def free(self, ptr: BufferPtr) -> None:
+        self.gpu.free(ptr)
+
+    def malloc_host(self, nbytes: int) -> BufferPtr:
+        """``cudaMallocHost``: allocate pinned (registered) host memory."""
+        try:
+            return self.node.malloc_host(nbytes)
+        except OutOfMemoryError as exc:
+            raise CudaOutOfMemory(str(exc)) from exc
+
+    def free_host(self, ptr: BufferPtr) -> None:
+        self.node.free_host(ptr)
+
+    # -- streams and events -------------------------------------------------------
+    def stream(self, name: str = "") -> Stream:
+        """``cudaStreamCreate``."""
+        s = Stream(self.env, name=name or f"{self.name}.s{len(self._streams)}",
+                   tracer=self.tracer)
+        self._streams.append(s)
+        return s
+
+    def event(self, name: str = "") -> CudaEvent:
+        """``cudaEventCreate``."""
+        return CudaEvent(self.env, name=name or f"{self.name}.event")
+
+    def device_synchronize(self):
+        """``cudaDeviceSynchronize``: wait for every stream (a generator)."""
+        for s in list(self._streams):
+            yield from s.synchronize()
+        yield self.env.timeout(self.cfg.cuda_sync_overhead)
+
+    # -- kind checking --------------------------------------------------------------
+    def _infer_kind(self, dst: BufferPtr, src: BufferPtr,
+                    kind: Optional[CopyKind]) -> CopyKind:
+        actual = {
+            ("device", "device"): CopyKind.D2D,
+            ("device", "host"): CopyKind.H2D,
+            ("host", "device"): CopyKind.D2H,
+            ("host", "host"): CopyKind.H2H,
+        }[(dst.space, src.space)]
+        if kind is not None and kind is not actual:
+            raise CudaInvalidMemcpyDirection(
+                f"declared {kind} but pointers imply {actual}"
+            )
+        for ptr in (dst, src):
+            if ptr.space == "device" and not self.gpu.owns(ptr):
+                raise CudaInvalidValue(
+                    "device pointer belongs to a different GPU than this context"
+                )
+            if ptr.space == "host" and ptr.arena is not self.node.memory:
+                raise CudaInvalidValue("host pointer belongs to a different node")
+        return actual
+
+    def _engine(self, kind: CopyKind):
+        if kind is CopyKind.H2H:
+            return self.node.cpu
+        return self.gpu.engine_for(kind)
+
+    # -- 1-D copies ----------------------------------------------------------------------
+    def memcpy_async(
+        self,
+        dst: BufferPtr,
+        src: BufferPtr,
+        nbytes: Optional[int] = None,
+        kind: Optional[CopyKind] = None,
+        stream: Optional[Stream] = None,
+        label: str = "memcpy",
+    ) -> Event:
+        """``cudaMemcpyAsync``: returns the completion event."""
+        n = src.nbytes if nbytes is None else nbytes
+        if n < 0 or n > src.nbytes or n > dst.nbytes:
+            raise CudaInvalidValue(
+                f"copy of {n} bytes exceeds buffers (src {src.nbytes}, dst {dst.nbytes})"
+            )
+        k = self._infer_kind(dst, src, kind)
+        s = stream if stream is not None else self.default_stream
+        duration = self.cfg.memcpy_time(k, n)
+        dview = dst.view()[:n]
+        sview = src.view()[:n]
+
+        def apply():
+            dview[:] = sview
+
+        return s.enqueue(self._engine(k), duration, apply, label=f"{label}:{k.value}")
+
+    def memcpy(
+        self,
+        dst: BufferPtr,
+        src: BufferPtr,
+        nbytes: Optional[int] = None,
+        kind: Optional[CopyKind] = None,
+    ):
+        """``cudaMemcpy`` (blocking; a generator).
+
+        Blocking copies go through the default stream (CUDA's synchronizing
+        behaviour) and charge the host synchronization overhead.
+        """
+        done = self.memcpy_async(dst, src, nbytes=nbytes, kind=kind, label="memcpy")
+        yield done
+        yield self.env.timeout(self.cfg.cuda_sync_overhead)
+
+    # -- 2-D copies -------------------------------------------------------------------------
+    def _check_2d(self, ptr: BufferPtr, pitch: int, width: int, height: int) -> None:
+        if width < 0 or height < 0:
+            raise CudaInvalidValue("width/height must be non-negative")
+        if height > 1 and width > pitch:
+            raise CudaInvalidValue(f"width {width} exceeds pitch {pitch}")
+        if height > 0 and width > 0:
+            span = (height - 1) * pitch + width
+            if span > ptr.nbytes:
+                raise CudaInvalidValue(
+                    f"2-D region ({height} rows x {width} B, pitch {pitch}) "
+                    f"spans {span} B but buffer holds {ptr.nbytes} B"
+                )
+
+    def memcpy2d_async(
+        self,
+        dst: BufferPtr,
+        dpitch: int,
+        src: BufferPtr,
+        spitch: int,
+        width: int,
+        height: int,
+        kind: Optional[CopyKind] = None,
+        stream: Optional[Stream] = None,
+        label: str = "memcpy2d",
+    ) -> Event:
+        """``cudaMemcpy2DAsync``: strided copy, returns completion event."""
+        self._check_2d(src, spitch, width, height)
+        self._check_2d(dst, dpitch, width, height)
+        k = self._infer_kind(dst, src, kind)
+        s = stream if stream is not None else self.default_stream
+        duration = self.cfg.memcpy2d_time(k, width, height, spitch, dpitch)
+        sarena, soff = src.arena, src.offset
+        darena, doff = dst.arena, dst.offset
+
+        def apply():
+            if width == 0 or height == 0:
+                return
+            sv = sarena.strided_view(soff, spitch, width, height)
+            dv = darena.strided_view(doff, dpitch, width, height)
+            np.copyto(dv, sv)
+
+        return s.enqueue(self._engine(k), duration, apply, label=f"{label}:{k.value}")
+
+    def memcpy2d(
+        self,
+        dst: BufferPtr,
+        dpitch: int,
+        src: BufferPtr,
+        spitch: int,
+        width: int,
+        height: int,
+        kind: Optional[CopyKind] = None,
+    ):
+        """``cudaMemcpy2D`` (blocking; a generator)."""
+        done = self.memcpy2d_async(
+            dst, dpitch, src, spitch, width, height, kind=kind, label="memcpy2d"
+        )
+        yield done
+        yield self.env.timeout(self.cfg.cuda_sync_overhead)
+
+    # -- memset -------------------------------------------------------------------------------
+    def memset_async(
+        self,
+        dst: BufferPtr,
+        value: int,
+        nbytes: Optional[int] = None,
+        stream: Optional[Stream] = None,
+    ) -> Event:
+        """``cudaMemsetAsync``: fill device memory at device bandwidth."""
+        if not (0 <= value <= 0xFF):
+            raise CudaInvalidValue(f"memset value {value} not a byte")
+        if dst.space != "device" or not self.gpu.owns(dst):
+            raise CudaInvalidValue("memset target must be on this context's GPU")
+        n = dst.nbytes if nbytes is None else nbytes
+        if n < 0 or n > dst.nbytes:
+            raise CudaInvalidValue(f"memset of {n} bytes exceeds buffer")
+        s = stream if stream is not None else self.default_stream
+        duration = self.cfg.memcpy_time(CopyKind.D2D, n)
+        view = dst.view()[:n]
+
+        def apply():
+            view[:] = value
+
+        return s.enqueue(self.gpu.exec_engine, duration, apply, label="memset")
+
+    def memset(self, dst: BufferPtr, value: int, nbytes: Optional[int] = None):
+        """``cudaMemset`` (blocking; a generator)."""
+        done = self.memset_async(dst, value, nbytes=nbytes)
+        yield done
+        yield self.env.timeout(self.cfg.cuda_sync_overhead)
+
+    # -- kernels ------------------------------------------------------------------------------
+    def launch_kernel(
+        self,
+        flops: float,
+        apply_fn: Optional[Callable[[], None]] = None,
+        stream: Optional[Stream] = None,
+        label: str = "kernel",
+    ) -> Event:
+        """Launch a compute kernel of ``flops`` operations (asynchronous).
+
+        ``apply_fn`` performs the kernel's functional effect on simulated
+        memory when the kernel completes.
+        """
+        s = stream if stream is not None else self.default_stream
+        duration = self.cfg.kernel_time(flops)
+        return s.enqueue(self.gpu.exec_engine, duration, apply_fn, label=label)

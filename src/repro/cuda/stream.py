@@ -1,0 +1,170 @@
+"""CUDA streams and events with faithful FIFO/engine semantics.
+
+A stream is a FIFO of operations: an operation may not *start* until its
+predecessor in the same stream has completed. Operations from different
+streams run concurrently, limited only by the hardware engine that serves
+them (H2D copy engine, D2H copy engine, execution engine). This is exactly
+the concurrency structure the paper's pipeline exploits, and the structure
+``cudaStreamQuery``-based manual pipelines (Figure 4(b)) poll.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional
+
+from ..sim import Environment, Event, Resource, Tracer
+
+__all__ = ["Stream", "CudaEvent"]
+
+_stream_ids = itertools.count()
+
+
+class Stream:
+    """A CUDA stream: an ordered queue of asynchronous operations."""
+
+    def __init__(self, env: Environment, name: str = "", tracer: Optional[Tracer] = None):
+        self.env = env
+        self.name = name or f"stream{next(_stream_ids)}"
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        # Completion event of the most recently enqueued operation. A fresh
+        # stream behaves as if an op had just completed.
+        self._tail: Event = Event.done(env, label=f"{self.name}:origin")
+        self._pending = 0
+
+    @property
+    def pending_ops(self) -> int:
+        """Number of enqueued-but-incomplete operations."""
+        return self._pending
+
+    def enqueue(
+        self,
+        engine: Resource,
+        duration: float,
+        apply_fn: Optional[Callable[[], None]] = None,
+        label: str = "op",
+    ) -> Event:
+        """Enqueue an operation and return its completion event.
+
+        ``apply_fn`` performs the functional side effect (the actual byte
+        movement) and runs at completion time, so observers that poll the
+        simulated memory mid-flight do not see finished data early.
+        """
+        if duration < 0:
+            raise ValueError("operation duration must be non-negative")
+        prev_tail = self._tail
+        done = self.env.event(label=f"{self.name}:{label}")
+        self._tail = done
+        self._pending += 1
+        self.env.process(
+            self._run_op(prev_tail, engine, duration, apply_fn, label, done),
+            name=f"{self.name}:{label}",
+        )
+        return done
+
+    def _run_op(
+        self,
+        prev_tail: Event,
+        engine: Resource,
+        duration: float,
+        apply_fn: Optional[Callable[[], None]],
+        label: str,
+        done: Event,
+    ):
+        yield prev_tail  # FIFO: wait for the previous op in this stream
+        with engine.request() as req:
+            yield req
+            start = self.env.now
+            yield self.env.timeout(duration)
+            self.tracer.record(start, self.env.now, engine.name, label)
+        if apply_fn is not None and self.env.functional:
+            apply_fn()
+        self._pending -= 1
+        done.succeed()
+
+    # -- queries -----------------------------------------------------------------
+    def query(self) -> bool:
+        """``cudaStreamQuery``: True when all enqueued work has completed."""
+        return self._tail.processed
+
+    def synchronize(self):
+        """``cudaStreamSynchronize`` as a simulation generator.
+
+        Use as ``yield from stream.synchronize()``.
+        """
+        tail = self._tail
+        if not tail.processed:
+            yield tail
+        return None
+
+    def completion_event(self) -> Event:
+        """The completion event of the last enqueued operation."""
+        return self._tail
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Stream {self.name} pending={self._pending}>"
+
+
+class CudaEvent:
+    """A CUDA event: a marker recorded into a stream.
+
+    ``record`` captures the stream's current tail; the event is *complete*
+    when every operation enqueued before the record point has finished.
+    """
+
+    def __init__(self, env: Environment, name: str = "cuda-event"):
+        self.env = env
+        self.name = name
+        self._marker: Optional[Event] = None
+        self._record_time: Optional[float] = None
+        self._completed_at: Optional[float] = None
+
+    def record(self, stream: Stream) -> None:
+        self._marker = stream.completion_event()
+        self._record_time = self.env.now
+        if self._marker.processed:
+            self._completed_at = self.env.now
+        else:
+            self._completed_at = None
+            self._marker.callbacks.append(
+                lambda _e: setattr(self, "_completed_at", self.env.now)
+            )
+
+    @property
+    def completion_time(self) -> float:
+        """Simulated time at which the recorded work completed.
+
+        Only valid once :meth:`query` is True. For an empty stream this is
+        the record time itself.
+        """
+        if self._marker is None:
+            raise RuntimeError(f"event {self.name!r} was never recorded")
+        if self._completed_at is None:
+            raise RuntimeError(f"event {self.name!r} has not completed")
+        return self._completed_at
+
+    def elapsed_time(self, end: "CudaEvent") -> float:
+        """``cudaEventElapsedTime``: seconds between two completed events.
+
+        The classic CUDA profiling primitive (the paper's microbenchmarks
+        were timed this way). Both events must have completed.
+        """
+        return end.completion_time - self.completion_time
+
+    @property
+    def recorded(self) -> bool:
+        return self._marker is not None
+
+    def query(self) -> bool:
+        """``cudaEventQuery``: True when the recorded work has completed."""
+        if self._marker is None:
+            raise RuntimeError(f"event {self.name!r} was never recorded")
+        return self._marker.processed
+
+    def synchronize(self):
+        """``cudaEventSynchronize`` (a generator)."""
+        if self._marker is None:
+            raise RuntimeError(f"event {self.name!r} was never recorded")
+        if not self._marker.processed:
+            yield self._marker
+        return None

@@ -1,0 +1,36 @@
+"""Hardware models: calibrated cost laws, memory arenas, GPUs, nodes.
+
+See DESIGN.md section 5 for how the constants in
+:class:`~repro.hw.config.HardwareConfig` were calibrated against the paper's
+published microbenchmark numbers.
+"""
+
+from .cluster import Cluster
+from .config import CopyKind, GiB, HardwareConfig, KiB, MiB
+from .gpu import GPUDevice
+from .memory import (
+    ALIGNMENT,
+    Arena,
+    BufferPtr,
+    InvalidPointerError,
+    OutOfMemoryError,
+)
+from .node import Node
+from .pcie import PCIeLink
+
+__all__ = [
+    "HardwareConfig",
+    "CopyKind",
+    "KiB",
+    "MiB",
+    "GiB",
+    "Cluster",
+    "Node",
+    "GPUDevice",
+    "PCIeLink",
+    "Arena",
+    "BufferPtr",
+    "ALIGNMENT",
+    "OutOfMemoryError",
+    "InvalidPointerError",
+]

@@ -1,0 +1,59 @@
+"""The top-level cluster object: nodes + fabric + simulation environment."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim import Environment, Tracer
+from .config import HardwareConfig
+from .node import Node
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A homogeneous GPU cluster (the paper used 8 such nodes).
+
+    Creating a cluster builds the simulation environment, the nodes (host
+    memory + CPU + GPUs) and the InfiniBand fabric connecting them. MPI
+    worlds are layered on top by :class:`repro.mpi.world.MpiWorld`.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        cfg: Optional[HardwareConfig] = None,
+        gpus_per_node: int = 1,
+        env: Optional[Environment] = None,
+        tracer: Optional[Tracer] = None,
+        functional: bool = True,
+    ):
+        if num_nodes < 1:
+            raise ValueError("cluster needs at least one node")
+        self.cfg = cfg if cfg is not None else HardwareConfig.fermi_qdr()
+        self.env = env if env is not None else Environment()
+        self.env.functional = functional
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.nodes: List[Node] = [
+            Node(self.env, self.cfg, i, gpus_per_node=gpus_per_node)
+            for i in range(num_nodes)
+        ]
+        # The fabric wires an HCA into every node (imported lazily: repro.ib
+        # builds on repro.hw, so importing it at module scope would cycle).
+        from ..ib.fabric import Fabric
+
+        self.fabric = Fabric(self.env, self.cfg, self.nodes, tracer=self.tracer)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def node(self, i: int) -> Node:
+        return self.nodes[i]
+
+    def run(self, until=None):
+        """Run the simulation (delegates to the environment)."""
+        return self.env.run(until)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Cluster nodes={self.num_nodes}>"

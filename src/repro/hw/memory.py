@@ -1,0 +1,228 @@
+"""Byte arenas and allocators backing simulated device and host memory.
+
+Every simulated memory space (a GPU's DRAM, a node's host memory) is a
+NumPy ``uint8`` array plus a first-fit free-list allocator. Allocations hand
+out :class:`BufferPtr` objects -- lightweight (arena, offset, length) handles
+that expose zero-copy NumPy views, so all functional data movement in the
+simulator is real byte movement that tests can check end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Arena",
+    "BufferPtr",
+    "OutOfMemoryError",
+    "InvalidPointerError",
+    "ALIGNMENT",
+]
+
+#: All allocations are aligned to this many bytes (cudaMalloc guarantees
+#: at least 256-byte alignment).
+ALIGNMENT = 256
+
+
+class OutOfMemoryError(MemoryError):
+    """The arena cannot satisfy an allocation request."""
+
+
+class InvalidPointerError(ValueError):
+    """A pointer was used with the wrong arena, double-freed, or is stale."""
+
+
+def _align_up(n: int, alignment: int = ALIGNMENT) -> int:
+    return (n + alignment - 1) // alignment * alignment
+
+
+class BufferPtr:
+    """A handle to ``nbytes`` of simulated memory at ``offset`` in an arena.
+
+    Sub-pointers created with :meth:`sub` share the parent's allocation and
+    must not be freed; only the pointer returned by :meth:`Arena.alloc` can
+    be passed to :meth:`Arena.free`.
+    """
+
+    __slots__ = ("arena", "offset", "nbytes", "_is_allocation_root")
+
+    def __init__(self, arena: "Arena", offset: int, nbytes: int, _root: bool = False):
+        self.arena = arena
+        self.offset = offset
+        self.nbytes = nbytes
+        self._is_allocation_root = _root
+
+    @property
+    def space(self) -> str:
+        """The arena's memory space: ``"device"`` or ``"host"``."""
+        return self.arena.space
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.nbytes
+
+    def view(self, dtype=np.uint8) -> np.ndarray:
+        """A zero-copy NumPy view of the pointed-to bytes."""
+        itemsize = np.dtype(dtype).itemsize
+        if self.nbytes % itemsize:
+            raise ValueError(
+                f"buffer of {self.nbytes} bytes is not a whole number of "
+                f"{np.dtype(dtype)} items"
+            )
+        raw = self.arena.raw[self.offset : self.offset + self.nbytes]
+        return raw.view(dtype)
+
+    def sub(self, offset: int, nbytes: Optional[int] = None) -> "BufferPtr":
+        """A pointer to a sub-range (no new allocation)."""
+        if offset < 0:
+            raise ValueError("sub-pointer offset must be non-negative")
+        if nbytes is None:
+            nbytes = self.nbytes - offset
+        if offset + nbytes > self.nbytes:
+            raise ValueError(
+                f"sub-range [{offset}, {offset + nbytes}) exceeds buffer of "
+                f"{self.nbytes} bytes"
+            )
+        return BufferPtr(self.arena, self.offset + offset, nbytes)
+
+    def fill_from(self, array: np.ndarray) -> None:
+        """Copy host-Python data into the simulated buffer (test/setup aid)."""
+        data = np.ascontiguousarray(array)
+        if data.nbytes != self.nbytes:
+            raise ValueError(
+                f"array of {data.nbytes} bytes does not match buffer of "
+                f"{self.nbytes} bytes"
+            )
+        self.view()[:] = data.reshape(-1).view(np.uint8)
+
+    def to_array(self, dtype, shape=None) -> np.ndarray:
+        """Copy the buffer contents out as a fresh NumPy array."""
+        arr = self.view(dtype).copy()
+        return arr.reshape(shape) if shape is not None else arr
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<BufferPtr {self.space}:{self.arena.name} "
+            f"off={self.offset} len={self.nbytes}>"
+        )
+
+
+class Arena:
+    """A contiguous simulated memory space with a first-fit allocator."""
+
+    def __init__(self, size: int, space: str, name: str = ""):
+        if size <= 0:
+            raise ValueError("arena size must be positive")
+        if space not in ("device", "host"):
+            raise ValueError(f"unknown memory space {space!r}")
+        self.size = size
+        self.space = space
+        self.name = name
+        self.raw = np.zeros(size, dtype=np.uint8)
+        # Free list: sorted list of (offset, length) holes.
+        self._free: List[Tuple[int, int]] = [(0, size)]
+        self._live: Dict[int, int] = {}  # offset -> allocated length
+
+    # -- accounting --------------------------------------------------------------
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(self._live.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(length for _, length in self._free)
+
+    @property
+    def num_allocations(self) -> int:
+        return len(self._live)
+
+    # -- allocate/free --------------------------------------------------------------
+    def alloc(self, nbytes: int) -> BufferPtr:
+        """Allocate ``nbytes`` (rounded up to the alignment)."""
+        if nbytes <= 0:
+            raise ValueError("allocation size must be positive")
+        need = _align_up(nbytes)
+        for i, (off, length) in enumerate(self._free):
+            if length >= need:
+                if length == need:
+                    del self._free[i]
+                else:
+                    self._free[i] = (off + need, length - need)
+                self._live[off] = need
+                return BufferPtr(self, off, nbytes, _root=True)
+        raise OutOfMemoryError(
+            f"{self.space} arena {self.name!r}: cannot allocate {nbytes} bytes "
+            f"({self.free_bytes} free, fragmented into {len(self._free)} holes)"
+        )
+
+    def free(self, ptr: BufferPtr) -> None:
+        """Return an allocation to the free list (with hole coalescing)."""
+        if ptr.arena is not self:
+            raise InvalidPointerError("pointer belongs to a different arena")
+        if not ptr._is_allocation_root:
+            raise InvalidPointerError("cannot free a sub-pointer")
+        length = self._live.pop(ptr.offset, None)
+        if length is None:
+            raise InvalidPointerError(
+                f"double free or foreign pointer at offset {ptr.offset}"
+            )
+        self._insert_hole(ptr.offset, length)
+        ptr._is_allocation_root = False
+
+    def _insert_hole(self, off: int, length: int) -> None:
+        # Insert keeping the list sorted, then coalesce with neighbours.
+        lo, hi = 0, len(self._free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._free[mid][0] < off:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._free.insert(lo, (off, length))
+        # Coalesce with successor.
+        if lo + 1 < len(self._free):
+            noff, nlen = self._free[lo + 1]
+            if off + length == noff:
+                self._free[lo] = (off, length + nlen)
+                del self._free[lo + 1]
+        # Coalesce with predecessor.
+        if lo > 0:
+            poff, plen = self._free[lo - 1]
+            if poff + plen == off:
+                off, length = self._free[lo]
+                self._free[lo - 1] = (poff, plen + length)
+                del self._free[lo]
+
+    def check_2d_bounds(self, offset: int, pitch: int, width: int, height: int) -> None:
+        """Validate that a 2-D access pattern stays inside the arena."""
+        if height <= 0 or width <= 0:
+            return
+        last = offset + (height - 1) * pitch + width
+        if offset < 0 or last > self.size:
+            raise InvalidPointerError(
+                f"2-D access [{offset}, {last}) exceeds arena of {self.size} bytes"
+            )
+
+    def strided_view(self, offset: int, pitch: int, width: int, height: int) -> np.ndarray:
+        """A (height, width) uint8 view with row stride ``pitch`` bytes.
+
+        Built on the arena's backing array (not an allocation slice) so the
+        view is valid even when the final row does not span a full pitch.
+        """
+        self.check_2d_bounds(offset, pitch, width, height)
+        if height == 0 or width == 0:
+            return np.empty((height, width), dtype=np.uint8)
+        return np.lib.stride_tricks.as_strided(
+            self.raw[offset:],
+            shape=(height, width),
+            strides=(pitch, 1),
+            writeable=True,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Arena {self.space}:{self.name} size={self.size} "
+            f"live={self.allocated_bytes}>"
+        )

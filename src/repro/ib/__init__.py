@@ -1,0 +1,6 @@
+"""InfiniBand verbs and fabric models (RDMA write, control messages)."""
+
+from .fabric import Fabric
+from .verbs import HCA, ControlMessage, RemoteBuffer
+
+__all__ = ["Fabric", "HCA", "RemoteBuffer", "ControlMessage"]

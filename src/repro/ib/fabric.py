@@ -1,0 +1,46 @@
+"""The switched InfiniBand fabric connecting cluster nodes.
+
+A single-switch QDR fabric (the paper's 8-node testbed): every node gets an
+HCA, and any pair communicates with one wire latency. Per-node TX
+serialization in :class:`~repro.ib.verbs.HCA` provides the bandwidth
+contention that matters for the experiments; switch-internal contention is
+negligible at this scale and is not modeled.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from ..sim import Environment, Tracer
+from ..hw.config import HardwareConfig
+from .verbs import HCA
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hw.node import Node
+
+__all__ = ["Fabric"]
+
+
+class Fabric:
+    """Creates and holds one HCA per node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cfg: HardwareConfig,
+        nodes: List["Node"],
+        tracer: Optional[Tracer] = None,
+    ):
+        self.env = env
+        self.cfg = cfg
+        self.nodes = nodes
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.hcas: List[HCA] = [
+            HCA(env, cfg, node, self, self.tracer) for node in nodes
+        ]
+
+    def hca(self, node_id: int) -> HCA:
+        return self.hcas[node_id]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Fabric nodes={len(self.nodes)}>"

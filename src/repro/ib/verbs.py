@@ -1,0 +1,227 @@
+"""InfiniBand verbs-level model: HCAs, control sends, RDMA writes.
+
+The model keeps the properties the paper's protocol relies on:
+
+* **RDMA write** moves bytes from registered local host memory directly
+  into registered remote host memory with no remote CPU involvement; the
+  sender gets a local completion event.
+* **Send/recv control messages** (RTS, CTS, RDMA-finish) are small,
+  CPU-handled messages delivered into the receiver's inbox, where the MPI
+  progress engine picks them up.
+* Messages between a given pair of HCAs are delivered in order (reliable
+  connection semantics): all traffic serializes through the sender's TX
+  engine and experiences the same wire latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict
+
+from ..sim import Environment, Event, Store, Tracer
+from ..hw.config import HardwareConfig
+from ..hw.memory import BufferPtr
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hw.node import Node
+    from .fabric import Fabric
+
+__all__ = ["HCA", "RemoteBuffer", "ControlMessage"]
+
+
+@dataclass(frozen=True)
+class RemoteBuffer:
+    """An RDMA-addressable window in a remote node's host memory.
+
+    In real verbs this is (virtual address, rkey); here it is (node id,
+    arena offset, length). Produced by :meth:`HCA.register` and shipped to
+    peers inside CTS messages.
+    """
+
+    node_id: int
+    offset: int
+    nbytes: int
+
+    def sub(self, offset: int, nbytes: int) -> "RemoteBuffer":
+        if offset < 0 or offset + nbytes > self.nbytes:
+            raise ValueError("sub-window exceeds registered remote buffer")
+        return RemoteBuffer(self.node_id, self.offset + offset, nbytes)
+
+
+@dataclass(frozen=True)
+class ControlMessage:
+    """A small send/recv message delivered to the remote inbox."""
+
+    src_node: int
+    dst_node: int
+    payload: Any
+
+
+class HCA:
+    """One InfiniBand host channel adapter."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cfg: HardwareConfig,
+        node: "Node",
+        fabric: "Fabric",
+        tracer: Tracer,
+    ):
+        from ..sim import Resource
+
+        self.env = env
+        self.cfg = cfg
+        self.node = node
+        self.fabric = fabric
+        self.tracer = tracer
+        self.name = f"hca{node.node_id}"
+        self.tx = Resource(env, capacity=1, name=f"{self.name}.tx")
+        #: Control messages land here; MPI progress engines block on get().
+        self.inbox: Store = Store(env, name=f"{self.name}.inbox")
+        node.hca = self
+
+    # -- registration ---------------------------------------------------------------
+    def register(self, ptr: BufferPtr) -> RemoteBuffer:
+        """Expose a local host buffer for remote RDMA access."""
+        if ptr.space != "host":
+            raise ValueError("only host memory can be registered for RDMA")
+        if ptr.arena is not self.node.memory:
+            raise ValueError("buffer does not belong to this HCA's node")
+        return RemoteBuffer(self.node.node_id, ptr.offset, ptr.nbytes)
+
+    def resolve(self, rbuf: RemoteBuffer) -> BufferPtr:
+        """Local pointer for a remote-buffer handle naming *this* node."""
+        if rbuf.node_id != self.node.node_id:
+            raise ValueError(
+                f"remote buffer names node {rbuf.node_id}, this is node "
+                f"{self.node.node_id}"
+            )
+        return BufferPtr(self.node.memory, rbuf.offset, rbuf.nbytes)
+
+    # -- verbs ------------------------------------------------------------------------
+    def rdma_write(self, src: BufferPtr, dst: RemoteBuffer) -> Event:
+        """Post an RDMA write; returns the local completion event.
+
+        The destination bytes become visible at local-completion time plus
+        one wire latency; remote visibility is what an RDMA-finish control
+        message (sent after this completes) is ordered behind, matching the
+        paper's protocol.
+        """
+        if src.space != "host":
+            raise ValueError("RDMA source must be registered host memory")
+        if src.nbytes != dst.nbytes:
+            raise ValueError(
+                f"RDMA size mismatch: local {src.nbytes} vs remote {dst.nbytes}"
+            )
+        done = self.env.event(label=f"rdma:{self.name}->{dst.node_id}")
+        self.env.process(
+            self._rdma_proc(src, dst, done), name=f"rdma {self.name}->{dst.node_id}"
+        )
+        return done
+
+    def _rdma_proc(self, src: BufferPtr, dst: RemoteBuffer, done: Event):
+        cfg = self.cfg
+        with self.tx.request() as req:
+            yield req
+            start = self.env.now
+            wire = cfg.net_post_overhead + src.nbytes / cfg.net_bandwidth
+            yield self.env.timeout(wire)
+            self.tracer.record(
+                start, self.env.now, f"{self.name}.tx", "rdma_write",
+                bytes=src.nbytes, dst=dst.node_id,
+            )
+        # Wire latency to remote memory; then the data is visible there.
+        yield self.env.timeout(cfg.net_latency)
+        if self.env.functional:
+            target_node = self.fabric.nodes[dst.node_id]
+            dst_ptr = BufferPtr(target_node.memory, dst.offset, dst.nbytes)
+            dst_ptr.view()[:] = src.view()
+        done.succeed()
+
+    def rdma_read(self, dst: BufferPtr, src: RemoteBuffer) -> Event:
+        """Post an RDMA read: fetch remote host memory into a local buffer.
+
+        The request rides to the target whose HCA *responder* streams the
+        data back; the target CPU is not involved. Completion fires at the
+        origin once the data has landed.
+        """
+        if dst.space != "host":
+            raise ValueError("RDMA read destination must be host memory")
+        if dst.nbytes != src.nbytes:
+            raise ValueError(
+                f"RDMA size mismatch: local {dst.nbytes} vs remote {src.nbytes}"
+            )
+        done = self.env.event(label=f"rdma-read:{self.name}<-{src.node_id}")
+        self.env.process(
+            self._rdma_read_proc(dst, src, done),
+            name=f"rdma-read {self.name}<-{src.node_id}",
+        )
+        return done
+
+    def _rdma_read_proc(self, dst: BufferPtr, src: RemoteBuffer, done: Event):
+        cfg = self.cfg
+        # Post the read request (small work request on our TX queue).
+        with self.tx.request() as req:
+            yield req
+            yield self.env.timeout(cfg.net_post_overhead)
+        yield self.env.timeout(cfg.net_latency)
+        # The target's responder streams the payload back over its TX.
+        responder = self.fabric.hcas[src.node_id]
+        with responder.tx.request() as req:
+            yield req
+            start = self.env.now
+            yield self.env.timeout(src.nbytes / cfg.net_bandwidth)
+            self.tracer.record(
+                start, self.env.now, f"{responder.name}.tx", "rdma_read_resp",
+                bytes=src.nbytes, origin=self.node.node_id,
+            )
+        yield self.env.timeout(cfg.net_latency)
+        if self.env.functional:
+            src_node = self.fabric.nodes[src.node_id]
+            src_ptr = BufferPtr(src_node.memory, src.offset, src.nbytes)
+            dst.view()[:] = src_ptr.view()
+        done.succeed()
+
+    def send_control(self, dst_node: int, payload: Any, size_bytes: int = 64) -> Event:
+        """Send a small control message; returns the local completion event.
+
+        Delivery into the remote inbox happens one wire latency after the
+        local send completes.
+        """
+        if dst_node == self.node.node_id:
+            # Loopback: skip the wire, deliver through host memory latency.
+            done = self.env.event(label=f"ctl-loopback:{self.name}")
+            self.env.process(self._loopback_proc(payload, done))
+            return done
+        done = self.env.event(label=f"ctl:{self.name}->{dst_node}")
+        self.env.process(
+            self._control_proc(dst_node, payload, size_bytes, done),
+            name=f"ctl {self.name}->{dst_node}",
+        )
+        return done
+
+    def _loopback_proc(self, payload: Any, done: Event):
+        yield self.env.timeout(self.cfg.net_control_overhead)
+        msg = ControlMessage(self.node.node_id, self.node.node_id, payload)
+        yield self.inbox.put(msg)
+        done.succeed()
+
+    def _control_proc(self, dst_node: int, payload: Any, size: int, done: Event):
+        cfg = self.cfg
+        with self.tx.request() as req:
+            yield req
+            start = self.env.now
+            wire = (
+                cfg.net_post_overhead
+                + cfg.net_control_overhead
+                + size / cfg.net_bandwidth
+            )
+            yield self.env.timeout(wire)
+            self.tracer.record(
+                start, self.env.now, f"{self.name}.tx", "control", dst=dst_node
+            )
+        done.succeed()
+        yield self.env.timeout(cfg.net_latency)
+        msg = ControlMessage(self.node.node_id, dst_node, payload)
+        yield self.fabric.hcas[dst_node].inbox.put(msg)

@@ -1,0 +1,365 @@
+"""Collective operations built on the point-to-point layer.
+
+Textbook algorithms (dissemination barrier, binomial broadcast/reduce, ring
+allgather) implemented over ``Isend``/``Irecv``, so collectives on device
+buffers automatically ride the GPU-aware path. Reductions need host-side
+arithmetic and therefore require host buffers (MVAPICH2 of this era staged
+device reductions through the host as well).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+import numpy as np
+
+from ..hw.memory import BufferPtr
+from .datatype import Datatype
+from .request import wait_all
+from .status import MpiError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .comm import Comm
+
+__all__ = [
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "allgather",
+    "allgather_obj",
+    "gather",
+    "scatter",
+    "alltoall",
+    "REDUCE_OPS",
+]
+
+#: Internal tag space for collectives, above anything user code uses.
+_TAG_BARRIER = 1_000_001
+_TAG_BCAST = 1_000_002
+_TAG_REDUCE = 1_000_003
+_TAG_ALLGATHER = 1_000_004
+_TAG_GATHER = 1_000_005
+_TAG_SCATTER = 1_000_006
+_TAG_ALLTOALL = 1_000_007
+
+REDUCE_OPS: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "sum": lambda a, b: a + b,
+    "prod": lambda a, b: a * b,
+    "max": np.maximum,
+    "min": np.minimum,
+}
+
+
+def barrier(comm: "Comm"):
+    """Dissemination barrier: ceil(log2(p)) rounds of zero-byte messages."""
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return
+        yield  # pragma: no cover - makes this a generator
+    from .datatype import Datatype as _D
+
+    byte = _byte_type()
+    dummy_send = comm.endpoint.node.malloc_host(1)
+    dummy_recv = comm.endpoint.node.malloc_host(1)
+    try:
+        dist = 1
+        while dist < size:
+            dst = (rank + dist) % size
+            src = (rank - dist) % size
+            sreq = comm.Isend(dummy_send, 0, byte, dst, tag=_TAG_BARRIER)
+            rreq = comm.Irecv(dummy_recv, 0, byte, src, tag=_TAG_BARRIER)
+            yield from wait_all([sreq, rreq])
+            dist *= 2
+    finally:
+        comm.endpoint.node.free_host(dummy_send)
+        comm.endpoint.node.free_host(dummy_recv)
+
+
+def bcast(comm: "Comm", buf: BufferPtr, count: int, datatype: Datatype, root: int):
+    """Binomial-tree broadcast."""
+    size, rank = comm.size, comm.rank
+    if not (0 <= root < size):
+        raise MpiError(f"invalid bcast root {root}")
+    if size == 1:
+        return
+        yield  # pragma: no cover
+    relrank = (rank - root) % size
+    # Receive phase: find the bit where this rank hangs off the tree.
+    mask = 1
+    while mask < size:
+        if relrank & mask:
+            src = ((relrank - mask) + root) % size
+            yield from comm.Recv(buf, count, datatype, source=src, tag=_TAG_BCAST)
+            break
+        mask <<= 1
+    # Send phase: forward to subtrees below the split bit.
+    mask >>= 1
+    while mask > 0:
+        if relrank + mask < size:
+            dst = (relrank + mask + root) % size
+            yield from comm.Send(buf, count, datatype, dest=dst, tag=_TAG_BCAST)
+        mask >>= 1
+
+
+def _np_view(buf: BufferPtr, count: int, datatype: Datatype) -> np.ndarray:
+    if datatype.base_np is None:
+        raise MpiError(
+            f"reduction needs a numeric base type, {datatype.name} is mixed"
+        )
+    if not datatype.is_contiguous:
+        raise MpiError("reductions require contiguous datatypes")
+    nbytes = datatype.size * count
+    return buf.sub(0, nbytes).view(datatype.base_np)
+
+
+def _stage_in(comm: "Comm", buf: BufferPtr, nbytes: int):
+    """Bring a (possibly device) buffer into host memory for reduction.
+
+    MVAPICH2 of this era staged device reduction operands through the host
+    exactly like this; the D2H copy is charged through the CUDA runtime.
+    Returns (host_ptr, owned) -- owned means we allocated a staging copy.
+    """
+    if buf.space == "host":
+        return buf, False
+    staged = comm.endpoint.node.malloc_host(max(nbytes, 1))
+    yield from comm.endpoint.cuda.memcpy(staged.sub(0, nbytes), buf.sub(0, nbytes))
+    return staged, True
+
+
+def _stage_out(comm: "Comm", host_buf: BufferPtr, dst: BufferPtr, nbytes: int):
+    """Move a reduction result back into a (possibly device) buffer."""
+    if dst.space == "host":
+        if dst is not host_buf:
+            dst.view()[:nbytes] = host_buf.view()[:nbytes]
+        return
+        yield  # pragma: no cover
+    yield from comm.endpoint.cuda.memcpy(dst.sub(0, nbytes), host_buf.sub(0, nbytes))
+
+
+def _byte_type() -> Datatype:
+    # One shared committed BYTE type for internal zero/soft messages.
+    global _BYTE
+    try:
+        return _BYTE
+    except NameError:
+        _BYTE = Datatype.named(np.uint8, "BYTE")
+        return _BYTE
+
+
+def reduce(
+    comm: "Comm",
+    sendbuf: BufferPtr,
+    recvbuf: Optional[BufferPtr],
+    count: int,
+    datatype: Datatype,
+    op: str,
+    root: int,
+):
+    """Binomial-tree reduction (commutative ops)."""
+    size, rank = comm.size, comm.rank
+    if op not in REDUCE_OPS:
+        raise MpiError(f"unknown reduction op {op!r}; have {sorted(REDUCE_OPS)}")
+    if not (0 <= root < size):
+        raise MpiError(f"invalid reduce root {root}")
+    if rank == root and recvbuf is None:
+        raise MpiError("root must supply a receive buffer")
+    fn = REDUCE_OPS[op]
+    nbytes = datatype.size * count
+    node = comm.endpoint.node
+    accum = node.malloc_host(max(nbytes, 1))
+    tmp = node.malloc_host(max(nbytes, 1))
+    cpu_cost = count * 1e-9  # one flop per element at ~1 Gflop/s host rate
+    staged_send, send_owned = yield from _stage_in(comm, sendbuf, nbytes)
+    try:
+        accum.view()[:nbytes] = staged_send.view()[:nbytes]
+        if send_owned:
+            node.free_host(staged_send)
+            send_owned = False
+        relrank = (rank - root) % size
+        mask = 1
+        while mask < size:
+            if relrank & mask == 0:
+                src_rel = relrank | mask
+                if src_rel < size:
+                    src = (src_rel + root) % size
+                    yield from comm.Recv(
+                        tmp, count, datatype, source=src, tag=_TAG_REDUCE
+                    )
+                    yield from comm.endpoint.cpu_work(cpu_cost, "reduce-op")
+                    a = accum.sub(0, nbytes).view(datatype.base_np)
+                    b = tmp.sub(0, nbytes).view(datatype.base_np)
+                    a[:] = fn(a, b)
+            else:
+                dst = ((relrank & ~mask) + root) % size
+                yield from comm.Send(accum, count, datatype, dest=dst, tag=_TAG_REDUCE)
+                break
+            mask <<= 1
+        if rank == root:
+            _np_view(recvbuf, count, datatype)  # validates recvbuf
+            yield from _stage_out(comm, accum, recvbuf, nbytes)
+    finally:
+        node.free_host(accum)
+        node.free_host(tmp)
+
+
+def allreduce(
+    comm: "Comm",
+    sendbuf: BufferPtr,
+    recvbuf: BufferPtr,
+    count: int,
+    datatype: Datatype,
+    op: str,
+):
+    """Reduce-to-root followed by broadcast."""
+    yield from reduce(comm, sendbuf, recvbuf if comm.rank == 0 else recvbuf,
+                      count, datatype, op, root=0)
+    yield from bcast(comm, recvbuf, count, datatype, root=0)
+
+
+def gather(
+    comm: "Comm",
+    sendbuf: BufferPtr,
+    recvbuf: Optional[BufferPtr],
+    count: int,
+    datatype: Datatype,
+    root: int,
+):
+    """Gather equal blocks to the root (linear algorithm).
+
+    Fine at the 8-node scale of the paper's testbed; a tree gather would
+    only matter at much larger scale.
+    """
+    size, rank = comm.size, comm.rank
+    nbytes = datatype.size * count
+    if rank == root:
+        if recvbuf is None:
+            raise MpiError("gather root must supply a receive buffer")
+        if recvbuf.nbytes < nbytes * size:
+            raise MpiError(
+                f"gather receive buffer too small: {recvbuf.nbytes} < "
+                f"{nbytes * size}"
+            )
+        recvbuf.sub(rank * nbytes, nbytes).view()[:] = sendbuf.view()[:nbytes]
+        reqs = [
+            comm.Irecv(recvbuf.sub(src * nbytes, nbytes), count, datatype,
+                       source=src, tag=_TAG_GATHER)
+            for src in range(size) if src != rank
+        ]
+        yield from wait_all(reqs)
+    else:
+        yield from comm.Send(sendbuf, count, datatype, dest=root,
+                             tag=_TAG_GATHER)
+
+
+def scatter(
+    comm: "Comm",
+    sendbuf: Optional[BufferPtr],
+    recvbuf: BufferPtr,
+    count: int,
+    datatype: Datatype,
+    root: int,
+):
+    """Scatter equal blocks from the root (linear algorithm)."""
+    size, rank = comm.size, comm.rank
+    nbytes = datatype.size * count
+    if rank == root:
+        if sendbuf is None:
+            raise MpiError("scatter root must supply a send buffer")
+        if sendbuf.nbytes < nbytes * size:
+            raise MpiError(
+                f"scatter send buffer too small: {sendbuf.nbytes} < "
+                f"{nbytes * size}"
+            )
+        recvbuf.view()[:nbytes] = sendbuf.sub(rank * nbytes, nbytes).view()
+        reqs = [
+            comm.Isend(sendbuf.sub(dst * nbytes, nbytes), count, datatype,
+                       dest=dst, tag=_TAG_SCATTER)
+            for dst in range(size) if dst != rank
+        ]
+        yield from wait_all(reqs)
+    else:
+        yield from comm.Recv(recvbuf, count, datatype, source=root,
+                             tag=_TAG_SCATTER)
+
+
+def alltoall(
+    comm: "Comm",
+    sendbuf: BufferPtr,
+    recvbuf: BufferPtr,
+    count: int,
+    datatype: Datatype,
+):
+    """Personalized all-to-all: p-1 rounds of pairwise Sendrecv."""
+    size, rank = comm.size, comm.rank
+    nbytes = datatype.size * count
+    for buf, name in ((sendbuf, "send"), (recvbuf, "recv")):
+        if buf.nbytes < nbytes * size:
+            raise MpiError(
+                f"alltoall {name} buffer too small: {buf.nbytes} < "
+                f"{nbytes * size}"
+            )
+    recvbuf.sub(rank * nbytes, nbytes).view()[:] = (
+        sendbuf.sub(rank * nbytes, nbytes).view()
+    )
+    for step in range(1, size):
+        dst = (rank + step) % size
+        src = (rank - step) % size
+        yield from comm.Sendrecv(
+            sendbuf.sub(dst * nbytes, nbytes), count, datatype, dst,
+            recvbuf.sub(src * nbytes, nbytes), count, datatype, src,
+            sendtag=_TAG_ALLTOALL, recvtag=_TAG_ALLTOALL,
+        )
+
+
+def allgather_obj(comm: "Comm", obj: tuple):
+    """Allgather a fixed-arity tuple of ints (library-internal helper).
+
+    Backs ``Comm.Split``'s (color, key, rank) exchange; encodes the tuple
+    as int64 and rides the normal byte allgather so it is charged real
+    communication time.
+    """
+    arity = len(obj)
+    node = comm.endpoint.node
+    nbytes = 8 * arity
+    sendbuf = node.malloc_host(nbytes)
+    recvbuf = node.malloc_host(nbytes * comm.size)
+    try:
+        sendbuf.view(np.int64)[:] = np.asarray(obj, dtype=np.int64)
+        byte = _byte_type()
+        yield from allgather(comm, sendbuf, recvbuf, nbytes, byte)
+        flat = recvbuf.to_array(np.int64).reshape(comm.size, arity)
+        return [tuple(int(v) for v in row) for row in flat]
+    finally:
+        node.free_host(sendbuf)
+        node.free_host(recvbuf)
+
+
+def allgather(
+    comm: "Comm",
+    sendbuf: BufferPtr,
+    recvbuf: BufferPtr,
+    count: int,
+    datatype: Datatype,
+):
+    """Ring allgather: p-1 steps, each forwarding the previous block."""
+    size, rank = comm.size, comm.rank
+    nbytes = datatype.size * count
+    if recvbuf.nbytes < nbytes * size:
+        raise MpiError(
+            f"allgather receive buffer too small: {recvbuf.nbytes} < {nbytes * size}"
+        )
+    # Own contribution in place.
+    recvbuf.sub(rank * nbytes, nbytes).view()[:] = sendbuf.view()[:nbytes]
+    if size == 1:
+        return
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    for step in range(size - 1):
+        send_block = (rank - step) % size
+        recv_block = (rank - step - 1) % size
+        yield from comm.Sendrecv(
+            recvbuf.sub(send_block * nbytes, nbytes), count, datatype, right,
+            recvbuf.sub(recv_block * nbytes, nbytes), count, datatype, left,
+            sendtag=_TAG_ALLGATHER, recvtag=_TAG_ALLGATHER,
+        )

@@ -1,0 +1,255 @@
+"""Per-rank MPI endpoint: progress engine, matching state, staging pools.
+
+An :class:`Endpoint` is the library-internal half of one MPI process. It
+owns
+
+* the matching lists (posted receives / unexpected messages),
+* the **progress daemon**, a simulated process that services the HCA inbox
+  and dispatches control messages (eager payloads, RTS/CTS/FIN, and any
+  message types registered by the GPU pipeline) to handlers,
+* rendezvous bookkeeping (send/recv transaction states keyed by SSN),
+* the host staging-buffer pool (**vbufs**) used by staged rendezvous and by
+  the GPU pipeline, pre-allocated and registered exactly like MVAPICH2's.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
+
+from ..hw.memory import BufferPtr
+from ..sim import Event, Resource, Store
+from .matching import MatchLists
+from .status import MpiError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cuda.runtime import CudaContext
+    from ..hw.config import HardwareConfig
+    from ..hw.node import Node
+    from ..ib.verbs import HCA
+    from ..sim import Environment, Tracer
+
+__all__ = ["Endpoint", "VbufPool", "EndpointStats"]
+
+
+class EndpointStats:
+    """Per-endpoint communication counters (library observability).
+
+    Mirrors the counters MVAPICH2 exposes through its debug interface:
+    message and byte counts per protocol path, rendezvous transaction
+    counts and staging-pool high-water marks. Updated by the protocol and
+    pipeline layers; read them in tests, benchmarks or tuning scripts.
+    """
+
+    __slots__ = (
+        "eager_sent", "eager_bytes_sent",
+        "rndv_sent", "rndv_bytes_sent",
+        "gpu_sent", "gpu_bytes_sent",
+        "msgs_received", "bytes_received",
+        "chunks_sent", "ctrl_messages",
+        "send_vbuf_peak", "recv_vbuf_peak", "tbuf_peak",
+    )
+
+    def __init__(self):
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def note_send(self, path: str, nbytes: int) -> None:
+        if path == "eager":
+            self.eager_sent += 1
+            self.eager_bytes_sent += nbytes
+        elif path == "rndv":
+            self.rndv_sent += 1
+            self.rndv_bytes_sent += nbytes
+        elif path == "gpu":
+            self.gpu_sent += 1
+            self.gpu_bytes_sent += nbytes
+
+    def note_recv(self, nbytes: int) -> None:
+        self.msgs_received += 1
+        self.bytes_received += nbytes
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    @property
+    def total_sent(self) -> int:
+        return self.eager_sent + self.rndv_sent + self.gpu_sent
+
+    @property
+    def total_bytes_sent(self) -> int:
+        return (
+            self.eager_bytes_sent + self.rndv_bytes_sent + self.gpu_bytes_sent
+        )
+
+
+class VbufPool:
+    """A pool of pre-registered, fixed-size host staging buffers.
+
+    Mirrors MVAPICH2's vbuf pool: acquiring blocks (in simulation) when the
+    pool is drained, which is the library's natural flow control.
+    """
+
+    def __init__(self, env: "Environment", node: "Node", buf_bytes: int, count: int):
+        if buf_bytes <= 0 or count <= 0:
+            raise ValueError("vbuf pool needs positive size and count")
+        self.env = env
+        self.buf_bytes = buf_bytes
+        self.count = count
+        self._store: Store = Store(env, name=f"vbufs@node{node.node_id}")
+        self._backing = node.malloc_host(buf_bytes * count)
+        self._peak = 0
+        for i in range(count):
+            self._store.put(self._backing.sub(i * buf_bytes, buf_bytes))
+
+    @property
+    def available(self) -> int:
+        return len(self._store)
+
+    @property
+    def peak_in_use(self) -> int:
+        """High-water mark of simultaneously-acquired buffers."""
+        return self._peak
+
+    def acquire(self):
+        """Get one vbuf (an event; yield it)."""
+        get = self._store.get()
+        in_use = self.count - len(self._store)
+        self._peak = max(getattr(self, "_peak", 0), in_use)
+        return get
+
+    def release(self, buf: BufferPtr) -> None:
+        if buf.nbytes != self.buf_bytes:
+            raise MpiError("released buffer is not a pool vbuf")
+        self._store.put(buf)
+
+
+class Endpoint:
+    """Library-internal state of one MPI rank."""
+
+    def __init__(
+        self,
+        rank: int,
+        node: "Node",
+        cuda: "CudaContext",
+        cfg: "HardwareConfig",
+        tracer: "Tracer",
+        vbuf_bytes: int = 64 * 1024,
+        vbuf_count: int = 256,
+    ):
+        self.rank = rank
+        self.node = node
+        self.cuda = cuda
+        self.cfg = cfg
+        self.tracer = tracer
+        self.env = node.env
+        self.hca: "HCA" = node.hca
+        self.matching = MatchLists()
+        # Separate staging pools for the two protocol roles. Sharing one
+        # pool deadlocks under bidirectional load: in-flight send chunks
+        # hold buffers while waiting for grants, which the receiver side
+        # cannot issue without buffers of its own. Distinct pools break the
+        # cycle (MVAPICH2 likewise partitions its vbuf queues by use).
+        self.stats = EndpointStats()
+        self.send_vbufs = VbufPool(self.env, node, vbuf_bytes, vbuf_count)
+        self.recv_vbufs = VbufPool(self.env, node, vbuf_bytes, vbuf_count)
+        #: Serializes the posting of envelope-carrying messages (eager
+        #: payloads and RTSes) so that two sends to the same destination hit
+        #: the wire in Isend call order -- MPI's non-overtaking guarantee.
+        self.send_order = Resource(self.env, capacity=1, name=f"sendorder:{rank}")
+
+        #: handler registry: message "type" -> fn(endpoint, payload_dict)
+        self.handlers: Dict[str, Callable[["Endpoint", dict], None]] = {}
+        #: sender-side rendezvous transactions: ssn -> state object
+        self.send_states: Dict[tuple, Any] = {}
+        #: receiver-side rendezvous transactions: ssn -> state object
+        self.recv_states: Dict[tuple, Any] = {}
+        self._next_seq = 0
+        #: rank -> node mapping, filled in by the world.
+        self.rank_to_node: Dict[int, int] = {}
+        #: set by :class:`repro.core.pipeline.GpuNcEngine` via the world.
+        self._gpu_engine: Optional[Any] = None
+        #: re-armed whenever a new message envelope arrives; Probe waits on
+        #: it between scans of the unexpected queue.
+        self.arrival_event: Event = Event(self.env, label=f"arrival:{rank}")
+        self._daemon = self.env.process(
+            self._progress_loop(), name=f"progress:rank{rank}"
+        )
+
+    @property
+    def gpu_engine(self):
+        """The GPU-aware transfer engine handling device buffers."""
+        if self._gpu_engine is None:
+            raise MpiError(
+                "device buffer used in MPI communication but no GPU engine "
+                "is installed on this endpoint (create the world with "
+                "gpu_aware=True)"
+            )
+        return self._gpu_engine
+
+    @gpu_engine.setter
+    def gpu_engine(self, engine) -> None:
+        self._gpu_engine = engine
+
+    # -- identity ---------------------------------------------------------------
+    def new_ssn(self) -> tuple:
+        """A send sequence number unique across the world."""
+        self._next_seq += 1
+        return (self.rank, self._next_seq)
+
+    def note_arrival(self) -> None:
+        """Signal Probe waiters that a new envelope arrived."""
+        fired, self.arrival_event = self.arrival_event, Event(
+            self.env, label=f"arrival:{self.rank}"
+        )
+        fired.succeed()
+
+    def node_of_rank(self, rank: int) -> int:
+        try:
+            return self.rank_to_node[rank]
+        except KeyError:
+            raise MpiError(f"unknown rank {rank}") from None
+
+    # -- message plumbing ---------------------------------------------------------
+    def register_handler(
+        self, msg_type: str, fn: Callable[["Endpoint", dict], None]
+    ) -> None:
+        if msg_type in self.handlers:
+            raise MpiError(f"duplicate handler for message type {msg_type!r}")
+        self.handlers[msg_type] = fn
+
+    def post_control(self, dst_rank: int, payload: dict, size_bytes: int = 64) -> Event:
+        """Send a control message to another rank's endpoint."""
+        self.stats.ctrl_messages += 1
+        payload = dict(payload)
+        payload["dst_rank"] = dst_rank
+        return self.hca.send_control(
+            self.node_of_rank(dst_rank), payload, size_bytes=size_bytes
+        )
+
+    def _progress_loop(self):
+        """The progress daemon: dispatch every inbound control message."""
+        while True:
+            msg = yield self.hca.inbox.get(
+                lambda m: isinstance(m.payload, dict)
+                and m.payload.get("dst_rank") == self.rank
+            )
+            payload = msg.payload
+            mtype = payload.get("type")
+            handler = self.handlers.get(mtype)
+            if handler is None:
+                raise MpiError(f"rank {self.rank}: no handler for {mtype!r}")
+            handler(self, payload)
+
+    # -- CPU accounting helper ------------------------------------------------------
+    def cpu_work(self, duration: float, label: str):
+        """Occupy the host CPU for ``duration`` (a generator)."""
+        with self.node.cpu.request() as req:
+            yield req
+            start = self.env.now
+            if duration > 0:
+                yield self.env.timeout(duration)
+            self.tracer.record(start, self.env.now, f"cpu{self.node.node_id}", label)
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Endpoint rank={self.rank} node={self.node.node_id}>"

@@ -1,0 +1,85 @@
+"""MPI message matching: posted-receive queue + unexpected-message queue.
+
+Matching follows the MPI ordering rules: a receive matches the *earliest
+arrived* compatible message; an arriving message matches the *earliest
+posted* compatible receive. Because the simulated fabric preserves per-pair
+order, this yields MPI's non-overtaking guarantee for identical
+(source, tag, communicator) triples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from .request import Request
+from .status import ANY_SOURCE, ANY_TAG
+
+__all__ = ["Envelope", "MatchLists", "PostedRecv", "ArrivedMessage"]
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """Matching key carried by every message."""
+
+    src: int
+    dst: int
+    tag: int
+    comm_id: int
+    size_bytes: int
+
+
+@dataclass
+class PostedRecv:
+    """A receive waiting for a matching message."""
+
+    request: Request
+    src: int
+    tag: int
+    comm_id: int
+
+    def matches(self, env: Envelope) -> bool:
+        return (
+            self.comm_id == env.comm_id
+            and (self.src == ANY_SOURCE or self.src == env.src)
+            and (self.tag == ANY_TAG or self.tag == env.tag)
+        )
+
+
+@dataclass
+class ArrivedMessage:
+    """A message (eager payload or rendezvous RTS) with no receive yet."""
+
+    envelope: Envelope
+    kind: str  # "eager" | "rts"
+    payload: Any = None  # eager: packed bytes; rts: protocol state
+
+
+class MatchLists:
+    """Per-rank posted-receive and unexpected-message lists."""
+
+    def __init__(self):
+        self.posted: List[PostedRecv] = []
+        self.unexpected: List[ArrivedMessage] = []
+
+    def post_recv(self, posted: PostedRecv) -> Optional[ArrivedMessage]:
+        """Register a receive; returns an already-arrived match, if any."""
+        for i, msg in enumerate(self.unexpected):
+            if posted.matches(msg.envelope):
+                return self.unexpected.pop(i)
+        self.posted.append(posted)
+        return None
+
+    def arrive(self, msg: ArrivedMessage) -> Optional[PostedRecv]:
+        """Register an arrival; returns the matching posted receive, if any."""
+        for i, posted in enumerate(self.posted):
+            if posted.matches(msg.envelope):
+                return self.posted.pop(i)
+        self.unexpected.append(msg)
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<MatchLists posted={len(self.posted)} "
+            f"unexpected={len(self.unexpected)}>"
+        )

@@ -1,0 +1,166 @@
+"""Functional pack/unpack of datatypes plus the host-CPU cost model.
+
+This is the datatype-processing engine an MPI library runs on the host CPU
+(Ross et al. style), i.e. the thing the paper *offloads to the GPU*. The
+functional half really moves bytes (vectorized gather/scatter over arena
+views); the timing half charges :meth:`HardwareConfig.host_pack_time`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..hw.config import HardwareConfig
+from ..hw.memory import BufferPtr
+from .datatype import Datatype, DatatypeError, SegmentList
+
+__all__ = [
+    "pack_bytes",
+    "pack_into",
+    "unpack_from",
+    "pack_range_bytes",
+    "unpack_range_from",
+    "unpack_array_into",
+    "host_pack_time",
+    "host_pack_range_time",
+    "check_buffer_bounds",
+]
+
+
+def check_buffer_bounds(buf: BufferPtr, dtype: Datatype, count: int) -> None:
+    """Raise when ``count`` elements of ``dtype`` do not fit in ``buf``.
+
+    Unlike C MPI (where negative displacements may legally reach memory
+    before the buffer pointer), the simulator requires the whole access
+    pattern to stay inside the buffer allocation.
+    """
+    if count == 0:
+        return
+    lo, hi = dtype.segments_for_count(count).span()
+    if lo < 0 or hi > buf.nbytes:
+        raise DatatypeError(
+            f"{count} x {dtype.name} spans [{lo}, {hi}) bytes but buffer "
+            f"holds [0, {buf.nbytes})"
+        )
+
+
+def _gather(buf: BufferPtr, segs: SegmentList) -> np.ndarray:
+    """Gather the segments of ``buf`` into a fresh contiguous byte array."""
+    raw = buf.view()
+    uniform = segs.uniform()
+    if uniform is not None:
+        width, height, pitch = uniform
+        base = int(segs.offsets[0]) if segs.count else 0
+        view = buf.arena.strided_view(buf.offset + base, pitch, width, height)
+        return view.reshape(-1).copy()
+    return raw[segs.gather_indices()]
+
+
+def _scatter(buf: BufferPtr, segs: SegmentList, data: np.ndarray) -> None:
+    """Scatter contiguous ``data`` bytes into the segments of ``buf``."""
+    if data.nbytes != segs.total_bytes:
+        raise ValueError(
+            f"scatter size mismatch: {data.nbytes} bytes for "
+            f"{segs.total_bytes}-byte layout"
+        )
+    uniform = segs.uniform()
+    if uniform is not None:
+        width, height, pitch = uniform
+        base = int(segs.offsets[0]) if segs.count else 0
+        view = buf.arena.strided_view(buf.offset + base, pitch, width, height)
+        np.copyto(view, data.reshape(height, width))
+        return
+    buf.view()[segs.gather_indices()] = data
+
+
+def pack_bytes(buf: BufferPtr, dtype: Datatype, count: int) -> np.ndarray:
+    """Pack ``count`` elements of ``dtype`` from ``buf`` into a byte array."""
+    check_buffer_bounds(buf, dtype, count)
+    return _gather(buf, dtype.segments_for_count(count))
+
+
+def pack_into(
+    src: BufferPtr, dtype: Datatype, count: int, dst: BufferPtr
+) -> int:
+    """Pack into a contiguous destination buffer; returns packed bytes."""
+    data = pack_bytes(src, dtype, count)
+    if data.nbytes > dst.nbytes:
+        raise DatatypeError(
+            f"packed size {data.nbytes} exceeds destination of {dst.nbytes}"
+        )
+    dst.view()[: data.nbytes] = data
+    return data.nbytes
+
+
+def unpack_from(
+    src: BufferPtr, dtype: Datatype, count: int, dst: BufferPtr
+) -> int:
+    """Unpack contiguous bytes from ``src`` into ``dst`` laid out as
+    ``count`` elements of ``dtype``; returns consumed bytes."""
+    check_buffer_bounds(dst, dtype, count)
+    segs = dtype.segments_for_count(count)
+    nbytes = segs.total_bytes
+    if nbytes > src.nbytes:
+        raise DatatypeError(
+            f"unpack needs {nbytes} bytes but source holds {src.nbytes}"
+        )
+    _scatter(dst, segs, src.view()[:nbytes])
+    return nbytes
+
+
+def pack_range_bytes(
+    buf: BufferPtr, dtype: Datatype, count: int, lo: int, hi: int
+) -> np.ndarray:
+    """Pack only packed-byte range ``[lo, hi)`` -- the chunking primitive."""
+    check_buffer_bounds(buf, dtype, count)
+    segs = dtype.segments_for_count(count).slice_bytes(lo, hi)
+    return _gather(buf, segs)
+
+
+def unpack_range_from(
+    src: BufferPtr, dtype: Datatype, count: int, dst: BufferPtr, lo: int, hi: int
+) -> None:
+    """Unpack ``src`` (holding packed bytes [lo, hi)) into its place."""
+    check_buffer_bounds(dst, dtype, count)
+    segs = dtype.segments_for_count(count).slice_bytes(lo, hi)
+    _scatter(dst, segs, src.view()[: hi - lo])
+
+
+def unpack_array_into(
+    data: np.ndarray, dtype: Datatype, count: int, dst: BufferPtr, lo: int = 0
+) -> None:
+    """Scatter a NumPy byte array holding packed bytes ``[lo, lo+len)``.
+
+    Convenience for eager delivery, where the payload travels as an array
+    rather than as simulated staging memory.
+    """
+    check_buffer_bounds(dst, dtype, count)
+    segs = dtype.segments_for_count(count).slice_bytes(lo, lo + data.nbytes)
+    _scatter(dst, segs, data)
+
+
+def host_pack_time(cfg: HardwareConfig, dtype: Datatype, count: int) -> float:
+    """CPU time to pack/unpack ``count`` elements of ``dtype``.
+
+    Contiguous types cost a plain host memcpy; strided types pay the
+    per-segment surcharge that makes host-side datatype processing the
+    bottleneck the paper identifies.
+    """
+    segs = dtype.segments_for_count(count)
+    nbytes = segs.total_bytes
+    if dtype.is_contiguous or segs.count <= 1:
+        return nbytes / cfg.host_memcpy_bandwidth
+    return cfg.host_pack_time(segs.count, nbytes)
+
+
+def host_pack_range_time(
+    cfg: HardwareConfig, dtype: Datatype, count: int, lo: int, hi: int
+) -> float:
+    """CPU time to pack/unpack only packed-byte range ``[lo, hi)``."""
+    segs = dtype.segments_for_count(count)
+    if dtype.is_contiguous or segs.count <= 1:
+        return (hi - lo) / cfg.host_memcpy_bandwidth
+    part = segs.slice_bytes(lo, hi)
+    return cfg.host_pack_time(part.count, part.total_bytes)

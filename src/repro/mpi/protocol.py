@@ -1,0 +1,631 @@
+"""MPI point-to-point protocols: eager and rendezvous.
+
+This is the host-path transfer engine of the simulated MPI library (what
+MVAPICH2 does for buffers in host memory) **plus** the protocol scaffolding
+the GPU pipeline of :mod:`repro.core` plugs into.
+
+Wire protocol (all over HCA control messages + RDMA writes):
+
+``eager``
+    Small messages: the packed payload rides inside the control message.
+    The sender completes locally; the receiver unpacks on match.
+
+``rts`` / ``cts`` / ``fin``
+    Rendezvous: the sender announces (RTS) its message and preferred chunk
+    size; once matched, the receiver grants a list of RDMA landing windows
+    (CTS) -- either windows of the user buffer (zero-copy, contiguous host
+    receives) or staging vbufs; the sender produces each chunk, RDMA-writes
+    it and posts a per-chunk FIN; the receiver drains/unpacks chunks as
+    FINs arrive and completes when all have landed.
+
+This chunked-grant design is exactly the paper's Figure 3 protocol; the
+device-buffer stages (GPU pack offload, D2H/H2D staging) are supplied by
+:class:`repro.core.pipeline.GpuNcEngine`, which registers itself on each
+endpoint. Host-host traffic uses the degenerate forms (single direct chunk,
+or CPU-packed staged chunks).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..hw.memory import BufferPtr
+from ..ib.verbs import RemoteBuffer
+from ..sim import Event, Store
+from .datatype import Datatype
+from .endpoint import Endpoint
+from .matching import ArrivedMessage, Envelope, PostedRecv
+from .pack import (
+    check_buffer_bounds,
+    host_pack_range_time,
+    host_pack_time,
+    pack_bytes,
+    pack_range_bytes,
+    unpack_array_into,
+)
+from .request import Request
+from .status import MpiError, Status
+
+__all__ = ["install_protocol", "isend", "irecv", "iprobe", "probe", "RtsInfo", "RecvState", "SendState"]
+
+#: Wire overhead added to eager messages (header bytes).
+EAGER_HEADER = 64
+
+
+# ---------------------------------------------------------------------------
+# Protocol state records
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RtsInfo:
+    """Decoded RTS payload."""
+
+    ssn: tuple
+    envelope: Envelope
+    total: int
+    #: Sender's preferred chunk size; 0 = "whole message in one piece".
+    chunk_pref: int
+    #: "host" or "gpu" -- informational (receiver decisions depend only on
+    #: its own buffer, but traces/tests want to see the sender mode).
+    mode: str
+
+
+@dataclass
+class RecvState:
+    """Receiver-side rendezvous transaction."""
+
+    posted: PostedRecv
+    rts: RtsInfo
+    chunk_bytes: int
+    nchunks: int
+    #: staging vbufs by chunk index (staged path) or None (direct path)
+    staging: Optional[Dict[int, BufferPtr]]
+    remaining: int
+    status: Status
+    #: set by the per-chunk drain logic when everything has landed
+    done: Event
+    endpoint: Endpoint = None  # type: ignore[assignment]
+    #: per-transaction FIN handler: fn(state, chunk_index). Host receives
+    #: install :func:`_host_fin_sink`; the GPU engine installs its own.
+    on_fin: Any = None
+    #: next chunk index to grant a landing buffer for (staged path)
+    next_grant: int = 0
+    #: drained-chunk tokens feeding the granter (staged path)
+    drained: Any = None
+
+    def chunk_range(self, index: int) -> tuple:
+        lo = index * self.chunk_bytes
+        hi = min(lo + self.chunk_bytes, self.rts.total)
+        return lo, hi
+
+    def release_staging(self, index: int) -> None:
+        """Release chunk ``index``'s staging vbuf and feed the granter.
+
+        May be called before the chunk is fully drained (e.g. as soon as
+        the H2D copy out of the vbuf completes) to keep the pool flowing.
+        """
+        if self.staging is None:
+            return
+        vbuf = self.staging.pop(index)
+        self.endpoint.recv_vbufs.release(vbuf)
+        if self.drained is not None and self.next_grant < self.nchunks:
+            self.drained.put(index)
+
+    def finish_chunk(self) -> None:
+        """Mark one chunk fully landed; fires ``done`` on the last one."""
+        self.remaining -= 1
+        if self.remaining == 0:
+            self.done.succeed()
+
+    def retire_chunk(self, index: int) -> None:
+        """Release staging and finish the chunk in one step."""
+        self.release_staging(index)
+        self.finish_chunk()
+
+
+@dataclass
+class SendState:
+    """Sender-side rendezvous transaction.
+
+    Landing-zone grants arrive incrementally (windowed CTS messages);
+    :func:`await_grant` suspends a per-chunk sender until its grant exists.
+    """
+
+    endpoint: Endpoint
+    #: RDMA windows granted so far, in chunk order.
+    grants: List = field(default_factory=list)
+    #: chunk size the receiver chose; None until the first CTS.
+    chunk_bytes: Optional[int] = None
+    #: re-armed every time new grants arrive
+    grant_event: Event = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.grant_event = self.endpoint.env.event(label="grants")
+
+    def add_grants(self, start: int, chunks: List, chunk_bytes: int) -> None:
+        if self.chunk_bytes is None:
+            self.chunk_bytes = chunk_bytes
+        if start != len(self.grants):
+            raise MpiError(
+                f"out-of-order CTS window: start {start}, have "
+                f"{len(self.grants)} grants"
+            )
+        self.grants.extend(chunks)
+        fired, self.grant_event = self.grant_event, self.endpoint.env.event(
+            label="grants"
+        )
+        fired.succeed()
+
+
+def await_grant(state: SendState, index: int):
+    """Wait until grant ``index`` is available (a generator)."""
+    while len(state.grants) <= index:
+        ev = state.grant_event
+        yield ev
+    return state.grants[index]
+
+
+def await_chunk_bytes(state: SendState):
+    """Wait until the receiver has chosen the chunk size (a generator)."""
+    while state.chunk_bytes is None:
+        ev = state.grant_event
+        yield ev
+    return state.chunk_bytes
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+def isend(
+    endpoint: Endpoint,
+    buf: BufferPtr,
+    count: int,
+    datatype: Datatype,
+    dest: int,
+    tag: int,
+    comm_id: int,
+    mode: str = "standard",
+) -> Request:
+    """Start a non-blocking send; returns the request.
+
+    ``mode="synchronous"`` (``MPI_Ssend``) forces the rendezvous protocol so
+    the send cannot complete before a matching receive is posted.
+    """
+    datatype.require_committed()
+    check_buffer_bounds(buf, datatype, count)
+    if count < 0:
+        raise MpiError("negative send count")
+    if mode not in ("standard", "synchronous"):
+        raise MpiError(f"unknown send mode {mode!r}")
+    total = datatype.size * count
+    req = Request(endpoint.env, "send", buf=buf, datatype=datatype, count=count)
+    envelope = Envelope(
+        src=endpoint.rank,
+        dst=dest,
+        tag=tag,
+        comm_id=comm_id,
+        size_bytes=total,
+    )
+    if buf.space == "device" and mode == "standard":
+        endpoint.gpu_engine.isend_device(endpoint, envelope, buf, count, datatype, req)
+        return req
+    if buf.space == "device" and mode == "synchronous":
+        # Device synchronous sends ride the rendezvous-only GPU path too
+        # (the GPU engine never uses eager for nonzero payloads).
+        if total == 0:
+            endpoint.env.process(
+                _rdv_send_host(endpoint, envelope, buf, count, datatype, req),
+                name=f"rdv-ssend:{endpoint.rank}->{dest}",
+            )
+        else:
+            endpoint.gpu_engine.isend_device(
+                endpoint, envelope, buf, count, datatype, req
+            )
+        return req
+    if total <= endpoint.cfg.eager_threshold and mode == "standard":
+        endpoint.env.process(
+            _eager_send(endpoint, envelope, buf, count, datatype, req),
+            name=f"eager-send:{endpoint.rank}->{dest}",
+        )
+    else:
+        endpoint.env.process(
+            _rdv_send_host(endpoint, envelope, buf, count, datatype, req),
+            name=f"rdv-send:{endpoint.rank}->{dest}",
+        )
+    return req
+
+
+def iprobe(
+    endpoint: Endpoint, source: int, tag: int, comm_id: int
+) -> Optional[Status]:
+    """``MPI_Iprobe``: peek at the unexpected queue without consuming."""
+    matcher = PostedRecv(request=None, src=source, tag=tag, comm_id=comm_id)
+    for msg in endpoint.matching.unexpected:
+        if matcher.matches(msg.envelope):
+            return Status(
+                source=msg.envelope.src,
+                tag=msg.envelope.tag,
+                count_bytes=msg.envelope.size_bytes,
+            )
+    return None
+
+
+def probe(endpoint: Endpoint, source: int, tag: int, comm_id: int):
+    """``MPI_Probe`` (a generator): wait for a matching envelope."""
+    while True:
+        status = iprobe(endpoint, source, tag, comm_id)
+        if status is not None:
+            return status
+        yield endpoint.arrival_event
+
+
+def irecv(
+    endpoint: Endpoint,
+    buf: BufferPtr,
+    count: int,
+    datatype: Datatype,
+    source: int,
+    tag: int,
+    comm_id: int,
+) -> Request:
+    """Post a non-blocking receive; returns the request."""
+    datatype.require_committed()
+    check_buffer_bounds(buf, datatype, count)
+    if count < 0:
+        raise MpiError("negative recv count")
+    req = Request(endpoint.env, "recv", buf=buf, datatype=datatype, count=count)
+    posted = PostedRecv(request=req, src=source, tag=tag, comm_id=comm_id)
+    match = endpoint.matching.post_recv(posted)
+    if match is not None:
+        _dispatch_match(endpoint, posted, match)
+    return req
+
+
+def install_protocol(endpoint: Endpoint) -> None:
+    """Register the eager/rendezvous message handlers on an endpoint."""
+    endpoint.register_handler("eager", _on_eager)
+    endpoint.register_handler("rts", _on_rts)
+    endpoint.register_handler("cts", _on_cts)
+    endpoint.register_handler("fin", _on_fin)
+
+
+# ---------------------------------------------------------------------------
+# Eager protocol
+# ---------------------------------------------------------------------------
+
+def _eager_send(endpoint, envelope, buf, count, datatype, req):
+    with endpoint.send_order.request() as order:
+        yield order
+        data = pack_bytes(buf, datatype, count)
+        yield from endpoint.cpu_work(
+            host_pack_time(endpoint.cfg, datatype, count), "pack:eager"
+        )
+        yield endpoint.post_control(
+            envelope.dst,
+            {"type": "eager", "envelope": envelope, "data": data},
+            size_bytes=data.nbytes + EAGER_HEADER,
+        )
+    endpoint.stats.note_send("eager", data.nbytes)
+    req._complete(Status(source=endpoint.rank, tag=envelope.tag,
+                         count_bytes=data.nbytes))
+
+
+def _on_eager(endpoint: Endpoint, payload: dict) -> None:
+    envelope: Envelope = payload["envelope"]
+    msg = ArrivedMessage(envelope, "eager", payload["data"])
+    posted = endpoint.matching.arrive(msg)
+    endpoint.note_arrival()
+    if posted is not None:
+        _deliver_eager(endpoint, posted, msg)
+
+
+def _deliver_eager(endpoint: Endpoint, posted: PostedRecv, msg: ArrivedMessage) -> None:
+    req = posted.request
+    envelope = msg.envelope
+    data: np.ndarray = msg.payload
+    capacity = req.datatype.size * req.count
+    if data.nbytes > capacity:
+        req._fail(
+            MpiError(
+                f"message truncation: {data.nbytes} bytes into a "
+                f"{capacity}-byte receive"
+            )
+        )
+        return
+    status = Status(source=envelope.src, tag=envelope.tag, count_bytes=data.nbytes)
+    if req.buf.space == "device":
+        endpoint.gpu_engine.deliver_eager_device(endpoint, req, data, status)
+        return
+
+    def proc():
+        # Receiver-side CPU unpack (scatter for strided receive types).
+        yield from endpoint.cpu_work(
+            host_pack_range_time(endpoint.cfg, req.datatype, req.count, 0, data.nbytes),
+            "unpack:eager",
+        )
+        unpack_array_into(data, req.datatype, req.count, req.buf)
+        endpoint.stats.note_recv(data.nbytes)
+        req._complete(status)
+
+    endpoint.env.process(proc(), name=f"eager-deliver:rank{endpoint.rank}")
+
+
+# ---------------------------------------------------------------------------
+# Rendezvous: matching glue
+# ---------------------------------------------------------------------------
+
+def _dispatch_match(endpoint: Endpoint, posted: PostedRecv, msg: ArrivedMessage) -> None:
+    if msg.kind == "eager":
+        _deliver_eager(endpoint, posted, msg)
+    elif msg.kind == "rts":
+        _rdv_recv_start(endpoint, posted, msg.payload)
+    else:  # pragma: no cover - defensive
+        raise MpiError(f"unknown matched message kind {msg.kind!r}")
+
+
+def _on_rts(endpoint: Endpoint, payload: dict) -> None:
+    rts = RtsInfo(
+        ssn=payload["ssn"],
+        envelope=payload["envelope"],
+        total=payload["total"],
+        chunk_pref=payload["chunk_pref"],
+        mode=payload["mode"],
+    )
+    msg = ArrivedMessage(rts.envelope, "rts", rts)
+    posted = endpoint.matching.arrive(msg)
+    endpoint.note_arrival()
+    if posted is not None:
+        _rdv_recv_start(endpoint, posted, rts)
+
+
+def _on_cts(endpoint: Endpoint, payload: dict) -> None:
+    state: SendState = endpoint.send_states.get(payload["ssn"])
+    if state is None:
+        raise MpiError(f"CTS for unknown SSN {payload['ssn']}")
+    state.add_grants(payload["start"], payload["chunks"], payload["chunk_bytes"])
+
+
+def _on_fin(endpoint: Endpoint, payload: dict) -> None:
+    ssn = payload["ssn"]
+    state: RecvState = endpoint.recv_states.get(ssn)
+    if state is None:
+        raise MpiError(f"FIN for unknown SSN {ssn}")
+    state.on_fin(state, payload["chunk"])
+
+
+# ---------------------------------------------------------------------------
+# Rendezvous: sender (host buffers)
+# ---------------------------------------------------------------------------
+
+def _rdv_send_host(endpoint, envelope, buf, count, datatype, req):
+    cfg = endpoint.cfg
+    total = envelope.size_bytes
+    ssn = endpoint.new_ssn()
+    contiguous = datatype.is_contiguous
+    chunk_pref = 0 if contiguous else endpoint.send_vbufs.buf_bytes
+    state = SendState(endpoint=endpoint)
+    endpoint.send_states[ssn] = state
+    with endpoint.send_order.request() as order:
+        yield order
+        yield endpoint.post_control(
+            envelope.dst,
+            {
+                "type": "rts",
+                "ssn": ssn,
+                "envelope": envelope,
+                "total": total,
+                "chunk_pref": chunk_pref,
+                "mode": "host",
+            },
+        )
+    chunk_bytes = yield from await_chunk_bytes(state)
+    nchunks = max(1, math.ceil(total / chunk_bytes))
+
+    if contiguous:
+        # Zero-copy sends straight out of the user buffer, chunk by chunk.
+        base = int(datatype.segments_for_count(count).offsets[0]) if total else 0
+        for i in range(nchunks):
+            rb = yield from await_grant(state, i)
+            lo = i * chunk_bytes
+            hi = min(lo + chunk_bytes, total)
+            if hi > lo:
+                yield endpoint.hca.rdma_write(buf.sub(base + lo, hi - lo), rb)
+            yield endpoint.post_control(
+                envelope.dst, {"type": "fin", "ssn": ssn, "chunk": i}
+            )
+    else:
+        # CPU-packed staging: pack each chunk into an own-side vbuf, RDMA it.
+        for i in range(nchunks):
+            rb = yield from await_grant(state, i)
+            lo = i * chunk_bytes
+            hi = min(lo + chunk_bytes, total)
+            vbuf = yield endpoint.send_vbufs.acquire()
+            yield from endpoint.cpu_work(
+                host_pack_range_time(cfg, datatype, count, lo, hi), "pack:rdv"
+            )
+            if endpoint.env.functional:
+                data = pack_range_bytes(buf, datatype, count, lo, hi)
+                vbuf.view()[: data.nbytes] = data
+            yield endpoint.hca.rdma_write(vbuf.sub(0, hi - lo), rb)
+            yield endpoint.post_control(
+                envelope.dst, {"type": "fin", "ssn": ssn, "chunk": i}
+            )
+            endpoint.send_vbufs.release(vbuf)
+    del endpoint.send_states[ssn]
+    endpoint.stats.note_send("rndv", total)
+    req._complete(Status(source=endpoint.rank, tag=envelope.tag, count_bytes=total))
+
+
+# ---------------------------------------------------------------------------
+# Rendezvous: receiver
+# ---------------------------------------------------------------------------
+
+def _rdv_recv_start(endpoint: Endpoint, posted: PostedRecv, rts: RtsInfo) -> None:
+    req = posted.request
+    capacity = req.datatype.size * req.count
+    if rts.total > capacity:
+        req._fail(
+            MpiError(
+                f"message truncation: {rts.total} bytes into a "
+                f"{capacity}-byte receive"
+            )
+        )
+        return
+    if req.buf.space == "device":
+        endpoint.gpu_engine.rdv_recv_device(endpoint, posted, rts)
+        return
+    endpoint.env.process(
+        _rdv_recv_host(endpoint, posted, rts),
+        name=f"rdv-recv:rank{endpoint.rank}",
+    )
+
+
+def make_recv_state(
+    endpoint: Endpoint,
+    posted: PostedRecv,
+    rts: RtsInfo,
+    chunk_bytes: int,
+    staged: bool,
+    on_fin,
+) -> RecvState:
+    """Build a receiver transaction record (shared with the GPU engine)."""
+    total = rts.total
+    nchunks = max(1, math.ceil(total / chunk_bytes)) if total else 1
+    state = RecvState(
+        posted=posted,
+        rts=rts,
+        chunk_bytes=chunk_bytes,
+        nchunks=nchunks,
+        staging={} if staged else None,
+        remaining=nchunks,
+        status=Status(
+            source=rts.envelope.src, tag=rts.envelope.tag, count_bytes=total
+        ),
+        done=endpoint.env.event(label=f"rdv-done:{rts.ssn}"),
+        endpoint=endpoint,
+        on_fin=on_fin,
+    )
+    if staged:
+        state.drained = Store(endpoint.env, name=f"drained:{rts.ssn}")
+    endpoint.recv_states[rts.ssn] = state
+    return state
+
+
+def staged_granter(endpoint: Endpoint, state: RecvState):
+    """Grant staging vbufs to the sender in windows (a generator).
+
+    Grants ``rendezvous_window`` chunks up front, then one more per drained
+    chunk, so a message of any size flows through a bounded vbuf pool.
+    """
+    src = state.rts.envelope.src
+    window = min(state.nchunks, endpoint.cfg.rendezvous_window,
+                 max(1, endpoint.recv_vbufs.count // 2))
+
+    def grant_batch(count):
+        start = state.next_grant
+        grants = []
+        while count > 0 and state.next_grant < state.nchunks:
+            i = state.next_grant
+            lo, hi = state.chunk_range(i)
+            vbuf = yield endpoint.recv_vbufs.acquire()
+            state.staging[i] = vbuf
+            grants.append(endpoint.hca.register(vbuf.sub(0, hi - lo)))
+            state.next_grant += 1
+            count -= 1
+        if grants:
+            yield endpoint.post_control(
+                src,
+                {
+                    "type": "cts",
+                    "ssn": state.rts.ssn,
+                    "start": start,
+                    "chunks": grants,
+                    "chunk_bytes": state.chunk_bytes,
+                },
+            )
+
+    yield from grant_batch(window)
+    while state.next_grant < state.nchunks:
+        yield state.drained.get()
+        yield from grant_batch(1)
+
+
+def _rdv_recv_host(endpoint: Endpoint, posted: PostedRecv, rts: RtsInfo):
+    req = posted.request
+    total = rts.total
+    contiguous = req.datatype.is_contiguous
+
+    if contiguous:
+        # Direct zero-copy grant: windows of the user buffer, all at once
+        # (no staging, so no pool pressure to window against).
+        chunk_bytes = rts.chunk_pref if rts.chunk_pref else max(total, 1)
+        state = make_recv_state(
+            endpoint, posted, rts, chunk_bytes, staged=False,
+            on_fin=_host_fin_sink,
+        )
+        base = (
+            int(req.datatype.segments_for_count(req.count).offsets[0])
+            if total else 0
+        )
+        chunks = []
+        for i in range(state.nchunks):
+            lo, hi = state.chunk_range(i)
+            chunks.append(endpoint.hca.register(req.buf.sub(base + lo, hi - lo)))
+        yield endpoint.post_control(
+            rts.envelope.src,
+            {
+                "type": "cts",
+                "ssn": rts.ssn,
+                "start": 0,
+                "chunks": chunks,
+                "chunk_bytes": chunk_bytes,
+            },
+        )
+    else:
+        chunk_bytes = min(
+            endpoint.recv_vbufs.buf_bytes,
+            rts.chunk_pref if rts.chunk_pref else endpoint.recv_vbufs.buf_bytes,
+        )
+        state = make_recv_state(
+            endpoint, posted, rts, chunk_bytes, staged=True,
+            on_fin=_host_fin_sink,
+        )
+        endpoint.env.process(
+            staged_granter(endpoint, state),
+            name=f"granter:rank{endpoint.rank}",
+        )
+
+    yield state.done
+    del endpoint.recv_states[rts.ssn]
+    endpoint.stats.note_recv(total)
+    req._complete(state.status)
+
+
+def _host_fin_sink(state: RecvState, chunk_index: int) -> None:
+    """Handle one FIN on the host receive path."""
+    endpoint = state.endpoint
+    if state.staging is None:
+        state.retire_chunk(chunk_index)
+        return
+
+    def drain():
+        lo, hi = state.chunk_range(chunk_index)
+        req = state.posted.request
+        yield from endpoint.cpu_work(
+            host_pack_range_time(endpoint.cfg, req.datatype, req.count, lo, hi),
+            "unpack:rdv",
+        )
+        if endpoint.env.functional:
+            vbuf = state.staging[chunk_index]
+            unpack_array_into(
+                vbuf.view()[: hi - lo].copy(), req.datatype, req.count,
+                req.buf, lo=lo,
+            )
+        state.retire_chunk(chunk_index)
+
+    endpoint.env.process(drain(), name=f"rdv-drain:rank{endpoint.rank}")

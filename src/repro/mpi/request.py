@@ -1,0 +1,121 @@
+"""Non-blocking communication requests (``MPI_Request``)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Optional
+
+from ..sim import Environment, Event
+from .status import Status
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hw.memory import BufferPtr
+    from .datatype import Datatype
+
+__all__ = ["Request", "wait_all", "wait_any"]
+
+
+class Request:
+    """Handle for an in-flight send or receive.
+
+    Completion is a simulation event; ``yield from req.wait()`` suspends the
+    calling rank program until the operation finishes and returns the
+    :class:`Status` (for receives).
+    """
+
+    __slots__ = (
+        "env", "kind", "status", "_done", "buf", "datatype", "count",
+        "status_hook",
+    )
+
+    def __init__(
+        self,
+        env: Environment,
+        kind: str,
+        buf: Optional["BufferPtr"] = None,
+        datatype: Optional["Datatype"] = None,
+        count: int = 0,
+    ):
+        if kind not in ("send", "recv"):
+            raise ValueError(f"unknown request kind {kind!r}")
+        self.env = env
+        self.kind = kind
+        self.status = Status()
+        self._done: Event = env.event(label=f"req:{kind}")
+        self.buf = buf
+        self.datatype = datatype
+        self.count = count
+        #: Optional fn(Status) -> Status applied at completion; used by
+        #: sub-communicators to translate world ranks into comm ranks.
+        self.status_hook = None
+
+    @classmethod
+    def null(cls, env: Environment, kind: str) -> "Request":
+        """An immediately-complete request (sends/receives to PROC_NULL)."""
+        from .status import PROC_NULL
+
+        req = cls(env, kind)
+        req.status = Status(source=PROC_NULL, tag=-1, count_bytes=0)
+        req._done = Event.done(env, value=req.status, label=f"req-null:{kind}")
+        return req
+
+    @property
+    def completed(self) -> bool:
+        return self._done.processed
+
+    @property
+    def completion_event(self) -> Event:
+        return self._done
+
+    def _complete(self, status: Optional[Status] = None) -> None:
+        if status is not None:
+            self.status = status
+        if self.status_hook is not None:
+            self.status = self.status_hook(self.status)
+        self._done.succeed(self.status)
+
+    def _fail(self, exc: BaseException) -> None:
+        self._done.fail(exc)
+
+    def test(self) -> bool:
+        """``MPI_Test`` (non-consuming): True when complete."""
+        return self.completed
+
+    def wait(self):
+        """``MPI_Wait`` as a generator; returns the Status."""
+        if not self.completed:
+            yield self._done
+        return self.status
+
+
+def wait_all(requests: Iterable[Request]):
+    """``MPI_Waitall`` as a generator; returns the list of Statuses."""
+    reqs: List[Request] = list(requests)
+    pending = [r.completion_event for r in reqs if not r.completed]
+    if pending:
+        env = reqs[0].env
+        yield env.all_of(pending)
+    return [r.status for r in reqs]
+
+
+def test_all(requests: Iterable[Request]) -> Optional[List[Status]]:
+    """``MPI_Testall`` (non-consuming): statuses if all complete, else None."""
+    reqs = list(requests)
+    if all(r.completed for r in reqs):
+        return [r.status for r in reqs]
+    return None
+
+
+def wait_any(requests: Iterable[Request]):
+    """``MPI_Waitany`` as a generator; returns (index, status)."""
+    reqs = list(requests)
+    if not reqs:
+        raise ValueError("wait_any on an empty request list")
+    for i, r in enumerate(reqs):
+        if r.completed:
+            return i, r.status
+    env = reqs[0].env
+    yield env.any_of([r.completion_event for r in reqs])
+    for i, r in enumerate(reqs):
+        if r.completed:
+            return i, r.status
+    raise AssertionError("any_of fired but no request completed")

@@ -1,0 +1,43 @@
+"""MPI status objects and matching wildcards."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Status", "ANY_SOURCE", "ANY_TAG", "MpiError"]
+
+#: Wildcard source for receives (``MPI_ANY_SOURCE``).
+ANY_SOURCE = -1
+#: Wildcard tag for receives (``MPI_ANY_TAG``).
+ANY_TAG = -1
+#: The null peer (``MPI_PROC_NULL``): sends/receives to it complete
+#: immediately and transfer nothing. Cartesian shifts at non-periodic
+#: boundaries return it.
+PROC_NULL = -2
+#: ``MPI_UNDEFINED``: passed as the color to ``Comm.Split`` by ranks that
+#: want no part in any resulting communicator.
+UNDEFINED = -32766
+
+
+class MpiError(RuntimeError):
+    """An MPI usage or internal protocol error."""
+
+
+@dataclass
+class Status:
+    """Completion information of a receive (``MPI_Status``)."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+    count_bytes: int = 0
+
+    def get_count(self, datatype) -> int:
+        """Number of whole ``datatype`` elements received."""
+        if datatype.size == 0:
+            return 0
+        if self.count_bytes % datatype.size:
+            raise MpiError(
+                f"received {self.count_bytes} bytes, not a whole number of "
+                f"{datatype.name} elements"
+            )
+        return self.count_bytes // datatype.size

@@ -1,0 +1,44 @@
+"""Minimal deterministic discrete-event simulation kernel.
+
+A from-scratch SimPy-like engine: generator-based processes, an event heap
+with FIFO tie-breaking (fully deterministic runs), capacity resources, object
+stores and interval tracing. Everything else in :mod:`repro` -- the GPU, the
+PCIe bus, the InfiniBand fabric, the MPI library -- is built on these
+primitives.
+"""
+
+from .core import EmptySchedule, Environment
+from .events import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Event,
+    Interrupt,
+    SimulationError,
+    Timeout,
+)
+from .process import Process, ProcessGenerator
+from .resources import Request, Resource, Store, StoreGet, StorePut
+from .trace import Interval, Tracer, union_duration
+
+__all__ = [
+    "Environment",
+    "EmptySchedule",
+    "Event",
+    "Timeout",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+    "Process",
+    "ProcessGenerator",
+    "Resource",
+    "Request",
+    "Store",
+    "StorePut",
+    "StoreGet",
+    "Tracer",
+    "Interval",
+    "union_duration",
+]

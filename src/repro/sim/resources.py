@@ -1,0 +1,186 @@
+"""Shared-resource primitives: FIFO resources and object stores.
+
+These are the building blocks for modeling hardware queues: a DMA engine is
+a ``Resource(capacity=1)``, a staging-buffer pool is a ``Store`` pre-filled
+with buffer objects, and so on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Deque, Optional
+
+from .events import Event, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .core import Environment
+
+__all__ = ["Resource", "Request", "Store", "StorePut", "StoreGet"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`.
+
+    Supports ``with`` so the holder releases automatically::
+
+        with engine.request() as req:
+            yield req
+            yield env.timeout(cost)
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env, label=f"request:{resource.name}")
+        self.resource = resource
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a request that has not been granted yet."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """A resource with finite capacity and a FIFO wait queue."""
+
+    def __init__(self, env: "Environment", capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._users: list[Request] = []
+        self._waiting: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of granted (active) requests."""
+        return len(self._users)
+
+    @property
+    def queue_len(self) -> int:
+        """Number of requests still waiting."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        req = Request(self)
+        if len(self._users) < self.capacity:
+            self._users.append(req)
+            req.succeed(self)
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Release a granted request; grants the next waiter, if any."""
+        try:
+            self._users.remove(request)
+        except ValueError:
+            # Releasing an ungranted request is a no-op if it was queued
+            # (treat as cancel) and an error otherwise.
+            if request in self._waiting:
+                self._waiting.remove(request)
+                return
+            raise SimulationError(
+                f"release of a request unknown to resource {self.name!r}"
+            ) from None
+        while self._waiting and len(self._users) < self.capacity:
+            nxt = self._waiting.popleft()
+            self._users.append(nxt)
+            nxt.succeed(self)
+
+    def _cancel(self, request: Request) -> None:
+        if request in self._waiting:
+            self._waiting.remove(request)
+        elif request in self._users:
+            self.release(request)
+
+
+class StorePut(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env, label=f"put:{store.name}")
+        self.item = item
+
+
+class StoreGet(Event):
+    __slots__ = ("filter",)
+
+    def __init__(self, store: "Store", filt: Optional[Callable[[Any], bool]]):
+        super().__init__(store.env, label=f"get:{store.name}")
+        self.filter = filt
+
+
+class Store:
+    """An unbounded-or-bounded FIFO store of Python objects.
+
+    ``get`` accepts an optional filter predicate, in which case the first
+    (oldest) matching item is returned -- used e.g. for MPI message matching
+    on mailboxes.
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf"), name: str = ""):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self.items: list[Any] = []
+        self._putters: Deque[StorePut] = deque()
+        self._getters: Deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        event = StorePut(self, item)
+        self._putters.append(event)
+        self._dispatch()
+        return event
+
+    def get(self, filt: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        event = StoreGet(self, filt)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def peek_items(self) -> tuple:
+        """Snapshot of currently stored items (for inspection/tests)."""
+        return tuple(self.items)
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            # Move queued puts into the store while capacity allows.
+            while self._putters and len(self.items) < self.capacity:
+                put = self._putters.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progress = True
+            # Satisfy getters.
+            remaining: Deque[StoreGet] = deque()
+            while self._getters:
+                get = self._getters.popleft()
+                idx = self._find(get.filter)
+                if idx is None:
+                    remaining.append(get)
+                else:
+                    item = self.items.pop(idx)
+                    get.succeed(item)
+                    progress = True
+            self._getters = remaining
+
+    def _find(self, filt: Optional[Callable[[Any], bool]]) -> Optional[int]:
+        if filt is None:
+            return 0 if self.items else None
+        for i, item in enumerate(self.items):
+            if filt(item):
+                return i
+        return None

@@ -1,0 +1,108 @@
+"""Interval tracing: records who did what, when, on which resource.
+
+Used for the Figure-6 style breakdowns (time per direction per category in
+Stencil2D) and for inspecting pipeline overlap in tests. Tracing is always
+on -- the record volume in these simulations is small -- but a tracer can be
+silenced by ``enabled = False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["Interval", "Tracer"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A half-open interval ``[start, end)`` of activity."""
+
+    start: float
+    end: float
+    engine: str
+    label: str
+    meta: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def get(self, key: str, default=None):
+        for k, v in self.meta:
+            if k == key:
+                return v
+        return default
+
+
+class Tracer:
+    """Collects :class:`Interval` records."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.intervals: List[Interval] = []
+
+    def record(self, start: float, end: float, engine: str, label: str, **meta) -> None:
+        if not self.enabled:
+            return
+        if end < start:
+            raise ValueError(f"interval ends before it starts: {start} > {end}")
+        self.intervals.append(
+            Interval(start, end, engine, label, tuple(sorted(meta.items())))
+        )
+
+    def clear(self) -> None:
+        self.intervals.clear()
+
+    # -- queries ---------------------------------------------------------------
+    def by_engine(self, engine: str) -> List[Interval]:
+        return [iv for iv in self.intervals if iv.engine == engine]
+
+    def by_label(self, prefix: str) -> List[Interval]:
+        return [iv for iv in self.intervals if iv.label.startswith(prefix)]
+
+    def busy_time(self, engine: Optional[str] = None, label_prefix: str = "") -> float:
+        """Total *union* busy time (overlaps merged) for matching intervals."""
+        matching = [
+            iv
+            for iv in self.intervals
+            if (engine is None or iv.engine == engine)
+            and iv.label.startswith(label_prefix)
+        ]
+        return union_duration((iv.start, iv.end) for iv in matching)
+
+    def total_time(self, engine: Optional[str] = None, label_prefix: str = "") -> float:
+        """Sum of interval durations (overlaps counted multiply)."""
+        return sum(
+            iv.duration
+            for iv in self.intervals
+            if (engine is None or iv.engine == engine)
+            and iv.label.startswith(label_prefix)
+        )
+
+    def breakdown(self, key: str = "engine") -> Dict[str, float]:
+        """Total duration grouped by engine or label."""
+        out: Dict[str, float] = {}
+        for iv in self.intervals:
+            k = iv.engine if key == "engine" else iv.label
+            out[k] = out.get(k, 0.0) + iv.duration
+        return out
+
+
+def union_duration(spans: Iterable[Tuple[float, float]]) -> float:
+    """Length of the union of a collection of ``(start, end)`` spans."""
+    ordered = sorted(spans)
+    total = 0.0
+    cur_start: Optional[float] = None
+    cur_end = 0.0
+    for start, end in ordered:
+        if cur_start is None:
+            cur_start, cur_end = start, end
+        elif start <= cur_end:
+            cur_end = max(cur_end, end)
+        else:
+            total += cur_end - cur_start
+            cur_start, cur_end = start, end
+    if cur_start is not None:
+        total += cur_end - cur_start
+    return total

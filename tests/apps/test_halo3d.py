@@ -1,0 +1,113 @@
+"""Tests for the 3-D halo-exchange application."""
+
+import numpy as np
+import pytest
+
+from repro.apps import Halo3DConfig, reference_diffusion3d, run_halo3d
+from repro.apps.halo3d import _apply_diffusion, _face_types
+
+
+def assemble(cfg, res):
+    pz, py, px = cfg.proc_dims
+    nz, ny, nx = cfg.local
+    got = np.zeros((pz * nz, py * ny, px * nx), dtype=cfg.np_dtype)
+    for r in range(cfg.nprocs):
+        cz = r // (py * px)
+        cy = (r // px) % py
+        cx = r % px
+        got[cz * nz:(cz + 1) * nz, cy * ny:(cy + 1) * ny,
+            cx * nx:(cx + 1) * nx] = res.interiors[r]
+    return got
+
+
+def expected(cfg):
+    rng = np.random.default_rng(cfg.seed)
+    shape = tuple(p * n for p, n in zip(cfg.proc_dims, cfg.local))
+    init = rng.random(shape, dtype=np.float32).astype(cfg.np_dtype)
+    return reference_diffusion3d(init, cfg.iterations)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Halo3DConfig(proc_dims=(0, 1, 1), local=(4, 4, 4))
+        with pytest.raises(ValueError):
+            Halo3DConfig(proc_dims=(1, 1, 1), local=(4, 4, 4), variant="x")
+        with pytest.raises(ValueError):
+            Halo3DConfig(proc_dims=(1, 2), local=(4, 4, 4))
+
+    def test_face_type_sizes(self):
+        cfg = Halo3DConfig(proc_dims=(1, 1, 2), local=(6, 5, 4))
+        faces = _face_types(cfg)
+        esz = 4
+        assert faces["z-"]["send"].size == 5 * 4 * esz
+        assert faces["y+"]["send"].size == 6 * 4 * esz
+        assert faces["x-"]["send"].size == 6 * 5 * esz
+
+    def test_x_face_is_nonuniform(self):
+        """The x face must exercise the gather-kernel path."""
+        cfg = Halo3DConfig(proc_dims=(1, 1, 2), local=(4, 3, 5))
+        t = _face_types(cfg)["x-"]["send"]
+        assert t.segments.uniform() is None
+        assert t.segments.count == 4 * 3
+
+
+class TestKernel:
+    def test_uniform_field(self):
+        a = np.ones((5, 5, 5))
+        _apply_diffusion(a)
+        assert a[2, 2, 2] == pytest.approx(0.4 + 6 * 0.1)
+
+    def test_reference_shape_dtype(self):
+        init = np.random.default_rng(0).random((4, 5, 6)).astype(np.float32)
+        out = reference_diffusion3d(init, 2)
+        assert out.shape == init.shape and out.dtype == init.dtype
+
+
+@pytest.mark.parametrize("variant", ["mv2nc", "pack"])
+class TestDistributedCorrectness:
+    @pytest.mark.parametrize("dims", [(1, 1, 2), (2, 1, 1), (2, 2, 2), (1, 3, 2)])
+    def test_matches_reference(self, variant, dims):
+        cfg = Halo3DConfig(proc_dims=dims, local=(5, 4, 6), iterations=3,
+                           variant=variant)
+        res = run_halo3d(cfg)
+        assert np.allclose(assemble(cfg, res), expected(cfg))
+
+    def test_double_precision(self, variant):
+        cfg = Halo3DConfig(proc_dims=(2, 1, 2), local=(4, 4, 4),
+                           iterations=2, dtype="float64", variant=variant)
+        res = run_halo3d(cfg)
+        assert np.allclose(assemble(cfg, res), expected(cfg))
+
+    def test_single_rank(self, variant):
+        cfg = Halo3DConfig(proc_dims=(1, 1, 1), local=(6, 6, 6),
+                           iterations=2, variant=variant)
+        res = run_halo3d(cfg)
+        assert np.allclose(assemble(cfg, res), expected(cfg))
+
+
+class TestVariantComparison:
+    def test_datatype_path_beats_explicit_pack(self):
+        """The library's pipelined datatype path should outperform
+        user-level pack/send/unpack staging (extra device traffic and no
+        overlap between faces' pack and send)."""
+        from repro.hw import HardwareConfig
+
+        # Make the kernel negligible so the comparison isolates the
+        # communication structure: the datatype path posts all six faces
+        # concurrently, while user-level Pack+Send serializes face by face.
+        hw = HardwareConfig.fermi_qdr().with_overrides(device_compute_rate=1e15)
+        times = {}
+        for variant in ("mv2nc", "pack"):
+            cfg = Halo3DConfig(proc_dims=(2, 2, 2), local=(64, 64, 64),
+                               iterations=3, variant=variant,
+                               functional=False)
+            times[variant] = run_halo3d(cfg, hw=hw).median_iteration_time
+        assert times["mv2nc"] < 0.9 * times["pack"]
+
+    def test_nonfunctional_run(self):
+        cfg = Halo3DConfig(proc_dims=(1, 1, 2), local=(8, 8, 8),
+                           iterations=1, functional=False)
+        res = run_halo3d(cfg)
+        assert res.interiors is None
+        assert res.median_iteration_time > 0

@@ -1,0 +1,165 @@
+"""Tests for the Stencil2D port: numerics, decomposition, instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    StencilConfig,
+    analyze_complexity,
+    reference_stencil,
+    run_stencil,
+)
+from repro.apps.stencil2d import _initial_global, _stencil_apply
+
+
+def assemble(cfg, res):
+    got = np.zeros(
+        (cfg.grid_rows * cfg.local_rows, cfg.grid_cols * cfg.local_cols),
+        dtype=cfg.np_dtype,
+    )
+    for r in range(cfg.nprocs):
+        pr, pc = cfg.position(r)
+        got[
+            pr * cfg.local_rows : (pr + 1) * cfg.local_rows,
+            pc * cfg.local_cols : (pc + 1) * cfg.local_cols,
+        ] = res.interiors[r]
+    return got
+
+
+class TestConfigValidation:
+    def test_bad_grid(self):
+        with pytest.raises(ValueError):
+            StencilConfig(0, 2, 8, 8)
+
+    def test_bad_variant(self):
+        with pytest.raises(ValueError):
+            StencilConfig(1, 2, 8, 8, variant="magic")
+
+    def test_bad_dtype(self):
+        with pytest.raises(ValueError):
+            StencilConfig(1, 2, 8, 8, dtype="int8")
+
+    def test_neighbors_interior(self):
+        cfg = StencilConfig(3, 3, 4, 4)
+        assert cfg.neighbors(4) == {"north": 1, "south": 7, "west": 3, "east": 5}
+
+    def test_neighbors_corner(self):
+        cfg = StencilConfig(2, 2, 4, 4)
+        assert cfg.neighbors(0) == {"south": 2, "east": 1}
+        assert cfg.neighbors(3) == {"north": 1, "west": 2}
+
+    def test_neighbors_1d_grids(self):
+        row = StencilConfig(1, 4, 4, 4)
+        assert set(row.neighbors(1)) == {"west", "east"}
+        col = StencilConfig(4, 1, 4, 4)
+        assert set(col.neighbors(1)) == {"north", "south"}
+
+
+class TestReferenceKernel:
+    def test_stencil_apply_uniform_field(self):
+        a = np.ones((6, 6), dtype=np.float64)
+        _stencil_apply(a)
+        # Uniform interior point: 0.25 + 4*0.15 + 4*0.05 = 1.05.
+        assert a[2, 2] == pytest.approx(1.05)
+
+    def test_reference_preserves_shape_and_dtype(self):
+        init = np.random.default_rng(1).random((8, 10)).astype(np.float32)
+        out = reference_stencil(init, 3)
+        assert out.shape == init.shape and out.dtype == init.dtype
+
+    def test_zero_boundary_condition(self):
+        init = np.zeros((4, 4), dtype=np.float64)
+        init[:] = 1.0
+        out = reference_stencil(init, 1)
+        # Corners see 3 zero-ring cardinal/diagonal neighbours.
+        assert out[0, 0] == pytest.approx(0.25 + 2 * 0.15 + 1 * 0.05)
+
+
+@pytest.mark.parametrize("variant", ["def", "mv2nc"])
+class TestDistributedCorrectness:
+    @pytest.mark.parametrize("grid", [(1, 2), (2, 1), (2, 2), (2, 3)])
+    def test_matches_reference(self, variant, grid):
+        cfg = StencilConfig(grid[0], grid[1], 9, 11, iterations=3,
+                            variant=variant)
+        res = run_stencil(cfg)
+        want = reference_stencil(_initial_global(cfg), cfg.iterations)
+        assert np.allclose(assemble(cfg, res), want)
+
+    def test_double_precision(self, variant):
+        cfg = StencilConfig(2, 2, 8, 8, iterations=2, dtype="float64",
+                            variant=variant)
+        res = run_stencil(cfg)
+        want = reference_stencil(_initial_global(cfg), 2)
+        assert np.allclose(assemble(cfg, res), want)
+
+    def test_single_rank(self, variant):
+        cfg = StencilConfig(1, 1, 16, 16, iterations=2, variant=variant)
+        res = run_stencil(cfg)
+        want = reference_stencil(_initial_global(cfg), 2)
+        assert np.allclose(assemble(cfg, res), want)
+
+
+class TestMeasurements:
+    def test_iteration_times_positive_and_counted(self):
+        cfg = StencilConfig(1, 2, 16, 16, iterations=4)
+        res = run_stencil(cfg)
+        assert len(res.iteration_times) == 2
+        for times in res.iteration_times:
+            assert len(times) == 4
+            assert all(t > 0 for t in times)
+        assert res.median_iteration_time > 0
+
+    def test_def_breakdown_attribution(self):
+        """In a 1x2 grid the only neighbours are east/west, so only those
+        directions may accumulate time, and cuda time must dominate
+        (Figure 6's observation)."""
+        cfg = StencilConfig(1, 2, 256, 256, iterations=2, variant="def",
+                            functional=False)
+        res = run_stencil(cfg)
+        b = res.breakdown[0]
+        assert b["north"]["cuda"] == 0 and b["south"]["mpi"] == 0
+        assert b["east"]["cuda"] > 0 and b["east"]["mpi"] > 0
+        assert b["east"]["cuda"] > b["east"]["mpi"]
+
+    def test_mv2nc_faster_than_def_on_noncontiguous_grid(self):
+        """The paper's headline application claim, at reduced scale."""
+        times = {}
+        for variant in ("def", "mv2nc"):
+            cfg = StencilConfig(1, 2, 2048, 512, iterations=2,
+                                variant=variant, functional=False)
+            times[variant] = run_stencil(cfg).median_iteration_time
+        assert times["mv2nc"] < times["def"]
+
+    def test_nonfunctional_run_has_no_interiors(self):
+        cfg = StencilConfig(1, 2, 32, 32, iterations=1, functional=False)
+        res = run_stencil(cfg)
+        assert res.interiors is None
+
+
+class TestComplexityAnalysis:
+    def test_loc_reduction(self):
+        rep = analyze_complexity(dynamic=False)
+        assert rep.loc["mv2nc"] < rep.loc["def"]
+        assert 15 < rep.loc_reduction_percent < 75
+
+    def test_static_counts_no_cuda_in_nc_variant(self):
+        rep = analyze_complexity(dynamic=False)
+        assert rep.static_calls["mv2nc"]["cudaMemcpy"] == 0
+        assert rep.static_calls["mv2nc"]["cudaMemcpy2D"] == 0
+        assert rep.static_calls["def"]["cudaMemcpy"] > 0
+        assert rep.static_calls["def"]["cudaMemcpy2D"] > 0
+
+    def test_dynamic_counts_interior_rank(self):
+        rep = analyze_complexity(dynamic=True)
+        dyn_def = rep.dynamic_calls["def"]
+        dyn_nc = rep.dynamic_calls["mv2nc"]
+        # Four neighbours: 4 receives, 4 sends, and for Def one D2H+H2D
+        # per neighbour (2 contiguous pairs + 2 strided pairs).
+        assert dyn_def["MPI_Irecv"] == 4
+        assert dyn_def["MPI_Send"] == 4
+        assert dyn_def["cudaMemcpy"] == 4
+        assert dyn_def["cudaMemcpy2D"] == 4
+        assert dyn_nc["MPI_Irecv"] == 4
+        assert dyn_nc["MPI_Isend"] == 4
+        assert dyn_nc["cudaMemcpy"] == 0
+        assert dyn_nc["cudaMemcpy2D"] == 0

@@ -1,0 +1,58 @@
+"""Tests for the distributed GPU matrix transpose."""
+
+import numpy as np
+import pytest
+
+from repro.apps import TransposeConfig, run_transpose
+
+
+def global_matrix(cfg):
+    rng = np.random.default_rng(cfg.seed)
+    return rng.random((cfg.n, cfg.n), dtype=np.float32).astype(cfg.np_dtype)
+
+
+class TestConfig:
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            TransposeConfig(nprocs=3, n=64)
+
+    def test_bad_variant(self):
+        with pytest.raises(ValueError):
+            TransposeConfig(nprocs=2, n=64, variant="quantum")
+
+
+@pytest.mark.parametrize("variant", ["mv2nc", "staged"])
+class TestCorrectness:
+    @pytest.mark.parametrize("nprocs,n", [(1, 16), (2, 32), (4, 64), (8, 64)])
+    def test_transpose_matches_numpy(self, variant, nprocs, n):
+        cfg = TransposeConfig(nprocs=nprocs, n=n, variant=variant)
+        res = run_transpose(cfg)
+        assert np.allclose(np.vstack(res.outputs), global_matrix(cfg).T)
+
+    def test_double_precision(self, variant):
+        cfg = TransposeConfig(nprocs=2, n=32, dtype="float64", variant=variant)
+        res = run_transpose(cfg)
+        got = np.vstack(res.outputs)
+        assert got.dtype == np.float64
+        assert np.allclose(got, global_matrix(cfg).T)
+
+    def test_involution(self, variant):
+        """Transposing the transpose restores the matrix (run twice)."""
+        cfg = TransposeConfig(nprocs=2, n=32, variant=variant)
+        once = np.vstack(run_transpose(cfg).outputs)
+        assert np.allclose(once.T, global_matrix(cfg))
+
+
+class TestPerformance:
+    def test_datatype_path_beats_staged_at_scale(self):
+        times = {}
+        for variant in ("mv2nc", "staged"):
+            cfg = TransposeConfig(nprocs=4, n=1024, variant=variant,
+                                  functional=False)
+            times[variant] = run_transpose(cfg).time
+        assert times["mv2nc"] < times["staged"] / 1.5
+
+    def test_nonfunctional_returns_no_outputs(self):
+        cfg = TransposeConfig(nprocs=2, n=64, functional=False)
+        res = run_transpose(cfg)
+        assert res.outputs is None and res.time > 0

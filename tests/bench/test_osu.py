@@ -1,0 +1,57 @@
+"""Tests for the OSU-style bandwidth harness."""
+
+import pytest
+
+import repro.bench.osu as osu
+from repro.hw import KiB, MiB
+
+
+@pytest.fixture(autouse=True)
+def quick_windows(monkeypatch):
+    monkeypatch.setattr(osu, "WINDOW_SIZE", 8)
+    monkeypatch.setattr(osu, "MEASURE_WINDOWS", 2)
+    monkeypatch.setattr(osu, "SKIP_WINDOWS", 1)
+
+
+class TestOsuBw:
+    def test_contiguous_device_bandwidth_approaches_link(self):
+        bw = osu.osu_bw(1 * MiB, space="device", layout="contiguous")
+        # QDR effective is 3.2 GB/s; streaming should reach most of it.
+        assert 1.5e9 < bw < 3.2e9
+
+    def test_vector_bandwidth_limited_by_pack_engine(self):
+        contig = osu.osu_bw(1 * MiB, space="device", layout="contiguous")
+        strided = osu.osu_bw(1 * MiB, space="device", layout="vector")
+        assert strided < contig / 3
+
+    def test_host_bandwidth_beats_device_small(self):
+        """Zero-copy host path has no staging cost at all."""
+        host = osu.osu_bw(256 * KiB, space="host", layout="contiguous")
+        assert host > 1e9
+
+    def test_bandwidth_grows_with_message_size(self):
+        small = osu.osu_bw(4 * KiB, space="device", layout="contiguous")
+        large = osu.osu_bw(1 * MiB, space="device", layout="contiguous")
+        assert large > small
+
+    def test_series_shape(self):
+        series = osu.bandwidth_series([4 * KiB, 64 * KiB])
+        assert [p["size"] for p in series] == [4 * KiB, 64 * KiB]
+        assert all(p["bw"] > 0 for p in series)
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(ValueError):
+            osu.osu_bw(1024, layout="diagonal")
+
+
+class TestOsuBibw:
+    def test_bidirectional_exceeds_unidirectional(self):
+        uni = osu.osu_bw(1 * MiB, space="device", layout="contiguous")
+        bi = osu.osu_bibw(1 * MiB, space="device", layout="contiguous")
+        assert bi > 1.4 * uni
+
+    def test_bidirectional_strided_deadlock_free(self):
+        """Regression: bidirectional staged traffic must not deadlock on
+        the vbuf pools (send and recv roles use separate pools)."""
+        bw = osu.osu_bibw(512 * KiB, space="device", layout="vector")
+        assert bw > 0

@@ -1,0 +1,179 @@
+"""Unit tests for the core-package building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GpuNcConfig,
+    LayoutPlan,
+    TbufPool,
+    buffer_location,
+    gpu_pack_cost,
+    is_device_ptr,
+    is_host_ptr,
+)
+from repro.cuda import CudaContext
+from repro.hw import Cluster, CopyKind
+from repro.mpi import BYTE, FLOAT, Datatype
+from repro.mpi.endpoint import VbufPool
+
+
+@pytest.fixture
+def ctx():
+    cluster = Cluster(1)
+    return CudaContext(cluster.env, cluster.cfg, cluster.nodes[0])
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = GpuNcConfig()
+        assert cfg.chunk_bytes == 64 * 1024
+        assert cfg.use_gpu_offload
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"chunk_bytes": 0},
+            {"pipeline_threshold": -1},
+            {"tbuf_chunks": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            GpuNcConfig(**kwargs)
+
+    def test_with_overrides(self):
+        cfg = GpuNcConfig().with_overrides(chunk_bytes=4096)
+        assert cfg.chunk_bytes == 4096
+
+
+class TestDetection:
+    def test_device_pointer(self, ctx):
+        p = ctx.malloc(64)
+        assert is_device_ptr(p) and not is_host_ptr(p)
+        assert buffer_location(p) == "device"
+
+    def test_host_pointer(self, ctx):
+        p = ctx.malloc_host(64)
+        assert is_host_ptr(p) and not is_device_ptr(p)
+        assert buffer_location(p) == "host"
+
+
+class TestLayoutPlan:
+    def test_contiguous_type(self):
+        plan = LayoutPlan.of(Datatype.contiguous(16, FLOAT), 1)
+        assert plan.kind == "contig" and plan.base_offset == 0
+        assert plan.total_bytes == 64
+
+    def test_vector_is_strided(self):
+        plan = LayoutPlan.of(Datatype.vector(8, 1, 2, FLOAT), 1)
+        assert plan.kind == "strided"
+
+    def test_single_block_vector_is_contig(self):
+        """vector(1, n, s) coalesces to one run -> contig plan."""
+        plan = LayoutPlan.of(Datatype.vector(1, 8, 16, FLOAT), 1)
+        assert plan.kind == "contig"
+
+    def test_offset_run_detected(self):
+        t = Datatype.hindexed([8], [32], BYTE)
+        plan = LayoutPlan.of(t, 1)
+        assert plan.kind == "contig" and plan.base_offset == 32
+
+    def test_zero_size(self):
+        plan = LayoutPlan.of(FLOAT, 0)
+        assert plan.total_bytes == 0
+
+
+class TestGpuPackCost:
+    def test_uniform_uses_2d_copy_law(self, ctx):
+        t = Datatype.vector(1024, 1, 2, FLOAT)
+        cost = gpu_pack_cost(ctx, t, 1, 0, t.size)
+        expect = ctx.cfg.memcpy2d_time(CopyKind.D2D, 4, 1024, 8, 4)
+        assert cost == pytest.approx(expect)
+
+    def test_irregular_uses_gather_law(self, ctx):
+        t = Datatype.indexed([1, 2, 1], [0, 3, 9], FLOAT)
+        cost = gpu_pack_cost(ctx, t, 1, 0, t.size)
+        segs = t.segments
+        expect = ctx.cfg.device_gather_time(segs.count, segs.total_bytes)
+        assert cost == pytest.approx(expect)
+
+    def test_subrange_cheaper_than_whole(self, ctx):
+        t = Datatype.vector(4096, 1, 2, FLOAT)
+        whole = gpu_pack_cost(ctx, t, 1, 0, t.size)
+        half = gpu_pack_cost(ctx, t, 1, 0, t.size // 2)
+        assert half < whole
+
+
+class TestPools:
+    def test_tbuf_pool_cycle(self, ctx):
+        pool = TbufPool(ctx, chunk_bytes=1024, chunks=2)
+        env = ctx.env
+
+        def proc():
+            a = yield pool.acquire()
+            b = yield pool.acquire()
+            assert pool.available == 0
+            pool.release(a)
+            c = yield pool.acquire()
+            assert c is a  # FIFO recycling
+            pool.release(b)
+            pool.release(c)
+
+        env.run(env.process(proc()))
+        assert pool.available == 2
+
+    def test_tbuf_wrong_size_release_rejected(self, ctx):
+        pool = TbufPool(ctx, chunk_bytes=1024, chunks=1)
+        foreign = ctx.malloc(512)
+        with pytest.raises(ValueError):
+            pool.release(foreign)
+
+    def test_tbuf_validation(self, ctx):
+        with pytest.raises(ValueError):
+            TbufPool(ctx, chunk_bytes=0, chunks=1)
+
+    def test_vbuf_pool_blocks_when_empty(self):
+        cluster = Cluster(1)
+        pool = VbufPool(cluster.env, cluster.nodes[0], 256, 1)
+        got = []
+
+        def consumer():
+            a = yield pool.acquire()
+            got.append(("first", cluster.env.now))
+            b = yield pool.acquire()
+            got.append(("second", cluster.env.now))
+            pool.release(a)
+            pool.release(b)
+
+        def releaser(buf_holder):
+            yield cluster.env.timeout(1.0)
+            # The first consumer released nothing yet; emulate an external
+            # release by draining through a second acquire path is complex;
+            # instead verify blocking via timing below.
+
+        # Simpler: acquire once, hold; second acquire must wait until we
+        # release at t=1.
+        def holder():
+            a = yield pool.acquire()
+            yield cluster.env.timeout(1.0)
+            pool.release(a)
+
+        def waiter():
+            b = yield pool.acquire()
+            got.append(("waited", cluster.env.now))
+            pool.release(b)
+
+        cluster.env.process(holder())
+        cluster.env.process(waiter())
+        cluster.env.run()
+        assert got == [("waited", 1.0)]
+
+    def test_vbuf_wrong_size_release_rejected(self):
+        from repro.mpi import MpiError
+
+        cluster = Cluster(1)
+        pool = VbufPool(cluster.env, cluster.nodes[0], 256, 1)
+        foreign = cluster.nodes[0].malloc_host(128)
+        with pytest.raises(MpiError):
+            pool.release(foreign)

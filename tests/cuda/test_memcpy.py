@@ -1,0 +1,285 @@
+"""Tests for the memcpy family: correctness, timing, validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cuda import CudaContext, CudaInvalidMemcpyDirection, CudaInvalidValue, CudaOutOfMemory
+from repro.hw import Cluster, CopyKind
+
+
+@pytest.fixture
+def ctx():
+    cluster = Cluster(1)
+    return CudaContext(cluster.env, cluster.cfg, cluster.nodes[0], tracer=cluster.tracer)
+
+
+def run(env, gen):
+    return env.run(env.process(gen))
+
+
+class TestMemcpy1D:
+    def test_h2d_d2h_roundtrip(self, ctx):
+        data = np.arange(256, dtype=np.float64)
+        hsrc = ctx.malloc_host(data.nbytes)
+        dbuf = ctx.malloc(data.nbytes)
+        hdst = ctx.malloc_host(data.nbytes)
+        hsrc.fill_from(data)
+
+        def program():
+            yield from ctx.memcpy(dbuf, hsrc)
+            yield from ctx.memcpy(hdst, dbuf)
+
+        run(ctx.env, program())
+        assert np.array_equal(hdst.to_array(np.float64), data)
+
+    def test_blocking_memcpy_takes_expected_time(self, ctx):
+        n = 1 << 20
+        hsrc = ctx.malloc_host(n)
+        dbuf = ctx.malloc(n)
+
+        def program():
+            yield from ctx.memcpy(dbuf, hsrc)
+            return ctx.env.now
+
+        t = run(ctx.env, program())
+        expected = ctx.cfg.memcpy_time(CopyKind.H2D, n) + ctx.cfg.cuda_sync_overhead
+        assert t == pytest.approx(expected)
+
+    def test_async_copy_data_lands_at_completion(self, ctx):
+        env = ctx.env
+        n = 1 << 20
+        hsrc = ctx.malloc_host(n)
+        hsrc.view()[:] = 0xCD
+        dbuf = ctx.malloc(n)
+        done = ctx.memcpy_async(dbuf, hsrc)
+        observed = []
+
+        def observer():
+            yield env.timeout(1e-9)
+            observed.append(int(dbuf.view()[0]))  # mid-flight: still zero
+            yield done
+            observed.append(int(dbuf.view()[0]))
+
+        run(env, observer())
+        assert observed == [0, 0xCD]
+
+    def test_partial_copy_with_nbytes(self, ctx):
+        hsrc = ctx.malloc_host(64)
+        hsrc.view()[:] = 9
+        dbuf = ctx.malloc(64)
+        done = ctx.memcpy_async(dbuf, hsrc, nbytes=16)
+        ctx.env.run()
+        assert done.processed
+        assert (dbuf.view()[:16] == 9).all()
+        assert (dbuf.view()[16:] == 0).all()
+
+    def test_oversize_copy_rejected(self, ctx):
+        hsrc = ctx.malloc_host(16)
+        dbuf = ctx.malloc(8)
+        with pytest.raises(CudaInvalidValue):
+            ctx.memcpy_async(dbuf, hsrc)
+
+    def test_kind_mismatch_rejected(self, ctx):
+        hsrc = ctx.malloc_host(16)
+        dbuf = ctx.malloc(16)
+        with pytest.raises(CudaInvalidMemcpyDirection):
+            ctx.memcpy_async(dbuf, hsrc, kind=CopyKind.D2H)
+
+    def test_oom_maps_to_cuda_error(self, ctx):
+        with pytest.raises(CudaOutOfMemory):
+            ctx.malloc(ctx.cfg.device_memory_bytes * 2)
+
+    def test_d2h_and_h2d_overlap_on_separate_engines(self, ctx):
+        env = ctx.env
+        n = 1 << 22
+        h1, h2 = ctx.malloc_host(n), ctx.malloc_host(n)
+        d1, d2 = ctx.malloc(n), ctx.malloc(n)
+        s1, s2 = ctx.stream(), ctx.stream()
+
+        def program():
+            e1 = ctx.memcpy_async(d1, h1, stream=s1)  # H2D
+            e2 = ctx.memcpy_async(h2, d2, stream=s2)  # D2H
+            yield e1 & e2
+            return env.now
+
+        t = run(env, program())
+        one_way = ctx.cfg.memcpy_time(CopyKind.H2D, n)
+        assert t == pytest.approx(one_way, rel=0.01)  # overlapped, not 2x
+
+
+class TestMemcpy2D:
+    def test_pack_columns_d2d(self, ctx):
+        """Flatten a strided column into a contiguous buffer (the paper's
+        'D2D nc2c' pack step) and verify the bytes."""
+        rows, pitch, width = 8, 32, 4
+        src = ctx.malloc(rows * pitch)
+        raw = np.arange(rows * pitch, dtype=np.uint8)
+        src.fill_from(raw)
+        dst = ctx.malloc(rows * width)
+
+        def program():
+            yield from ctx.memcpy2d(dst, width, src, pitch, width, rows)
+
+        run(ctx.env, program())
+        expected = raw.reshape(rows, pitch)[:, :width].reshape(-1)
+        assert np.array_equal(dst.view(), expected)
+
+    def test_unpack_c2nc(self, ctx):
+        rows, pitch, width = 8, 32, 4
+        src = ctx.malloc(rows * width)
+        src.fill_from(np.arange(rows * width, dtype=np.uint8))
+        dst = ctx.malloc(rows * pitch)
+
+        def program():
+            yield from ctx.memcpy2d(dst, pitch, src, width, width, rows)
+
+        run(ctx.env, program())
+        out = dst.to_array(np.uint8).reshape(rows, pitch)
+        assert np.array_equal(out[:, :width].reshape(-1), src.view())
+        assert (out[:, width:] == 0).all()
+
+    def test_nc2nc_preserves_stride_structure(self, ctx):
+        rows, pitch, width = 4, 16, 4
+        src = ctx.malloc(rows * pitch)
+        src.fill_from(np.arange(rows * pitch, dtype=np.uint8))
+        hdst = ctx.malloc_host(rows * pitch)
+
+        def program():
+            yield from ctx.memcpy2d(hdst, pitch, src, pitch, width, rows)
+
+        run(ctx.env, program())
+        out = hdst.to_array(np.uint8).reshape(rows, pitch)
+        srcv = src.to_array(np.uint8).reshape(rows, pitch)
+        assert np.array_equal(out[:, :width], srcv[:, :width])
+        assert (out[:, width:] == 0).all()
+
+    def test_width_exceeding_pitch_rejected(self, ctx):
+        src = ctx.malloc(1024)
+        dst = ctx.malloc(1024)
+        with pytest.raises(CudaInvalidValue):
+            ctx.memcpy2d_async(dst, 8, src, 8, 16, 4)
+
+    def test_region_exceeding_buffer_rejected(self, ctx):
+        src = ctx.malloc(64)
+        dst = ctx.malloc(1024)
+        with pytest.raises(CudaInvalidValue):
+            ctx.memcpy2d_async(dst, 32, src, 32, 8, 4)  # needs 3*32+8 > 64
+
+    def test_strided_pcie_slower_than_device_pack(self, ctx):
+        """The core observation of Section IV-A at the API level."""
+        env = ctx.env
+        rows, width = 1024, 4
+        pitch = 8
+        dsrc = ctx.malloc(rows * pitch)
+        hdst = ctx.malloc_host(rows * pitch)
+        dtmp = ctx.malloc(rows * width)
+        hflat = ctx.malloc_host(rows * width)
+
+        def nc2nc():
+            t0 = env.now
+            yield from ctx.memcpy2d(hdst, pitch, dsrc, pitch, width, rows)
+            return env.now - t0
+
+        def d2d2h():
+            t0 = env.now
+            yield from ctx.memcpy2d(dtmp, width, dsrc, pitch, width, rows)
+            yield from ctx.memcpy(hflat, dtmp)
+            return env.now - t0
+
+        t_nc2nc = run(env, nc2nc())
+        t_d2d2h = run(env, d2d2h())
+        assert t_d2d2h < t_nc2nc / 3
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=st.integers(min_value=1, max_value=64),
+        width=st.integers(min_value=1, max_value=32),
+        extra_pitch=st.integers(min_value=0, max_value=32),
+    )
+    def test_2d_copy_matches_numpy_reference(self, rows, width, extra_pitch):
+        cluster = Cluster(1)
+        ctx = CudaContext(cluster.env, cluster.cfg, cluster.nodes[0])
+        pitch = width + extra_pitch
+        rng = np.random.default_rng(rows * 1000 + width * 10 + extra_pitch)
+        raw = rng.integers(0, 256, rows * pitch, dtype=np.uint8)
+        src = ctx.malloc(rows * pitch)
+        src.fill_from(raw)
+        dst = ctx.malloc(rows * width)
+
+        def program():
+            yield from ctx.memcpy2d(dst, width, src, pitch, width, rows)
+
+        cluster.env.run(cluster.env.process(program()))
+        expected = raw.reshape(rows, pitch)[:, :width].reshape(-1)
+        assert np.array_equal(dst.view(), expected)
+
+
+class TestKernelLaunch:
+    def test_kernel_applies_effect_after_duration(self, ctx):
+        env = ctx.env
+        buf = ctx.malloc(16)
+        done = ctx.launch_kernel(1e6, apply_fn=lambda: buf.view().fill(3))
+
+        def program():
+            yield done
+            return env.now
+
+        t = run(env, program())
+        assert t == pytest.approx(ctx.cfg.kernel_time(1e6))
+        assert (buf.view() == 3).all()
+
+    def test_kernel_serializes_with_d2d_on_exec_engine(self, ctx):
+        env = ctx.env
+        a, b = ctx.malloc(1 << 20), ctx.malloc(1 << 20)
+        s1, s2 = ctx.stream(), ctx.stream()
+        k = ctx.launch_kernel(1e7, stream=s1)
+        c = ctx.memcpy_async(b, a, stream=s2)  # D2D -> exec engine
+
+        def program():
+            yield k & c
+            return env.now
+
+        t = run(env, program())
+        serial = ctx.cfg.kernel_time(1e7) + ctx.cfg.memcpy_time(CopyKind.D2D, 1 << 20)
+        assert t == pytest.approx(serial)
+
+
+class TestContextValidation:
+    def test_foreign_device_pointer_rejected(self):
+        cluster = Cluster(1, gpus_per_node=2)
+        node = cluster.nodes[0]
+        ctx0 = CudaContext(cluster.env, cluster.cfg, node, gpu=node.gpus[0])
+        foreign = node.gpus[1].malloc(16)
+        mine = ctx0.malloc(16)
+        with pytest.raises(CudaInvalidValue):
+            ctx0.memcpy_async(mine, foreign)
+
+    def test_foreign_host_pointer_rejected(self):
+        cluster = Cluster(2)
+        ctx0 = CudaContext(cluster.env, cluster.cfg, cluster.nodes[0])
+        other_host = cluster.nodes[1].malloc_host(16)
+        dbuf = ctx0.malloc(16)
+        with pytest.raises(CudaInvalidValue):
+            ctx0.memcpy_async(dbuf, other_host)
+
+    def test_gpu_node_mismatch_rejected(self):
+        cluster = Cluster(2)
+        with pytest.raises(CudaInvalidValue):
+            CudaContext(
+                cluster.env, cluster.cfg, cluster.nodes[0], gpu=cluster.nodes[1].gpu
+            )
+
+    def test_device_synchronize_waits_all_streams(self, ctx):
+        env = ctx.env
+        s1, s2 = ctx.stream(), ctx.stream()
+        s1.enqueue(ctx.gpu.pcie.d2h, 2.0)
+        s2.enqueue(ctx.gpu.pcie.h2d, 3.0)
+
+        def program():
+            yield from ctx.device_synchronize()
+            return env.now
+
+        t = run(env, program())
+        assert t == pytest.approx(3.0 + ctx.cfg.cuda_sync_overhead)

@@ -1,0 +1,84 @@
+"""Tests for nodes, GPUs and cluster wiring."""
+
+import pytest
+
+from repro.hw import Cluster, CopyKind, HardwareConfig
+
+
+class TestNodeAndGpu:
+    def test_cluster_builds_nodes_and_hcas(self):
+        c = Cluster(4)
+        assert c.num_nodes == 4
+        for i, node in enumerate(c.nodes):
+            assert node.node_id == i
+            assert node.hca is not None
+            assert node.hca.node is node
+            assert len(node.gpus) == 1
+
+    def test_cluster_needs_a_node(self):
+        with pytest.raises(ValueError):
+            Cluster(0)
+
+    def test_multiple_gpus_per_node(self):
+        c = Cluster(1, gpus_per_node=2)
+        assert len(c.nodes[0].gpus) == 2
+        assert c.nodes[0].gpus[0] is not c.nodes[0].gpus[1]
+
+    def test_gpu_malloc_free(self):
+        c = Cluster(1)
+        gpu = c.nodes[0].gpu
+        p = gpu.malloc(4096)
+        assert gpu.owns(p)
+        assert p.space == "device"
+        gpu.free(p)
+
+    def test_host_malloc(self):
+        c = Cluster(1)
+        p = c.nodes[0].malloc_host(4096)
+        assert p.space == "host"
+        c.nodes[0].free_host(p)
+
+    def test_find_gpu(self):
+        c = Cluster(1, gpus_per_node=2)
+        node = c.nodes[0]
+        p0 = node.gpus[0].malloc(128)
+        p1 = node.gpus[1].malloc(128)
+        host = node.malloc_host(128)
+        assert node.find_gpu(p0) is node.gpus[0]
+        assert node.find_gpu(p1) is node.gpus[1]
+        assert node.find_gpu(host) is None
+
+    def test_engine_mapping(self):
+        c = Cluster(1)
+        gpu = c.nodes[0].gpu
+        assert gpu.engine_for(CopyKind.H2D) is gpu.pcie.h2d
+        assert gpu.engine_for(CopyKind.D2H) is gpu.pcie.d2h
+        assert gpu.engine_for(CopyKind.D2D) is gpu.exec_engine
+        assert gpu.engine_for(CopyKind.D2H) is not gpu.engine_for(CopyKind.H2D)
+        with pytest.raises(ValueError):
+            gpu.engine_for(CopyKind.H2H)
+
+    def test_shared_engine_ablation(self):
+        c = Cluster(1, cfg=HardwareConfig.single_engine_gpu())
+        gpu = c.nodes[0].gpu
+        assert gpu.engine_for(CopyKind.H2D) is gpu.engine_for(CopyKind.D2H)
+        assert gpu.engine_for(CopyKind.D2D) is gpu.engine_for(CopyKind.D2H)
+
+    def test_separate_node_memories(self):
+        c = Cluster(2)
+        a = c.nodes[0].malloc_host(16)
+        b = c.nodes[1].malloc_host(16)
+        a.view()[:] = 1
+        assert (b.view() == 0).all()
+
+    def test_cluster_run_delegates_to_env(self):
+        c = Cluster(1)
+        done = []
+
+        def proc():
+            yield c.env.timeout(1.0)
+            done.append(c.env.now)
+
+        c.env.process(proc())
+        c.run()
+        assert done == [1.0]

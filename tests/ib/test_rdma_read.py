@@ -1,0 +1,100 @@
+"""Tests for RDMA read and the fabric presets."""
+
+import numpy as np
+import pytest
+
+from repro.hw import Cluster, HardwareConfig
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(2)
+
+
+def run(cluster, gen):
+    return cluster.env.run(cluster.env.process(gen))
+
+
+class TestRdmaRead:
+    def test_fetches_remote_bytes(self, cluster):
+        src = cluster.nodes[1].malloc_host(256)
+        src.view()[:] = np.arange(256, dtype=np.uint8)
+        rb = cluster.nodes[1].hca.register(src)
+        dst = cluster.nodes[0].malloc_host(256)
+
+        def program():
+            yield cluster.nodes[0].hca.rdma_read(dst, rb)
+
+        run(cluster, program())
+        assert np.array_equal(dst.view(), src.view())
+
+    def test_read_takes_two_latencies(self, cluster):
+        cfg = cluster.cfg
+        n = 1 << 20
+        src = cluster.nodes[1].malloc_host(n)
+        rb = cluster.nodes[1].hca.register(src)
+        dst = cluster.nodes[0].malloc_host(n)
+
+        def program():
+            yield cluster.nodes[0].hca.rdma_read(dst, rb)
+            return cluster.env.now
+
+        t = run(cluster, program())
+        expect = (
+            cfg.net_post_overhead + 2 * cfg.net_latency + n / cfg.net_bandwidth
+        )
+        assert t == pytest.approx(expect, rel=0.01)
+
+    def test_size_mismatch_rejected(self, cluster):
+        src = cluster.nodes[1].malloc_host(64)
+        rb = cluster.nodes[1].hca.register(src)
+        dst = cluster.nodes[0].malloc_host(32)
+        with pytest.raises(ValueError):
+            cluster.nodes[0].hca.rdma_read(dst, rb)
+
+    def test_device_destination_rejected(self, cluster):
+        src = cluster.nodes[1].malloc_host(64)
+        rb = cluster.nodes[1].hca.register(src)
+        dbuf = cluster.nodes[0].gpu.malloc(64)
+        with pytest.raises(ValueError):
+            cluster.nodes[0].hca.rdma_read(dbuf, rb)
+
+    def test_responder_contends_with_target_sends(self, cluster):
+        """A read response shares the target's TX engine with its sends."""
+        cfg = cluster.cfg
+        n = 1 << 22
+        src = cluster.nodes[1].malloc_host(n)
+        rb = cluster.nodes[1].hca.register(src)
+        dst = cluster.nodes[0].malloc_host(n)
+        other_dst = cluster.nodes[0].malloc_host(n)
+        other_rb = cluster.nodes[0].hca.register(other_dst)
+        own_src = cluster.nodes[1].malloc_host(n)
+
+        def program():
+            read_ev = cluster.nodes[0].hca.rdma_read(dst, rb)
+            write_ev = cluster.nodes[1].hca.rdma_write(own_src, other_rb)
+            yield read_ev & write_ev
+            return cluster.env.now
+
+        t = run(cluster, program())
+        serial = 2 * n / cfg.net_bandwidth
+        assert t > serial * 0.95  # both streams shared node 1's TX
+
+
+class TestFabricPresets:
+    def test_ddr_slower_than_qdr(self):
+        qdr = HardwareConfig.fermi_qdr()
+        ddr = HardwareConfig.fermi_ddr_ib()
+        assert ddr.net_bandwidth < qdr.net_bandwidth
+        assert ddr.net_latency > qdr.net_latency
+
+    def test_roce_slowest(self):
+        roce = HardwareConfig.fermi_roce()
+        assert roce.net_bandwidth < HardwareConfig.fermi_ddr_ib().net_bandwidth
+
+    def test_presets_share_pcie_model(self):
+        """The PCIe side is identical across fabrics -- the point of the
+        interconnect ablation."""
+        qdr, roce = HardwareConfig.fermi_qdr(), HardwareConfig.fermi_roce()
+        assert qdr.pcie_row_cost_nc2nc == roce.pcie_row_cost_nc2nc
+        assert qdr.pcie_bandwidth == roce.pcie_bandwidth

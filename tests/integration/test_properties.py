@@ -1,0 +1,233 @@
+"""System-level property tests: the whole stack under random workloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GpuNcConfig
+from repro.hw import Cluster, CopyKind, HardwareConfig
+from repro.mpi import BYTE, Datatype, MpiWorld, run_world, wait_all
+from repro.mpi.pack import pack_bytes
+
+
+# -- random datatype trees through the full GPU pipeline ------------------------
+
+@st.composite
+def transfer_datatype(draw):
+    """A committed datatype with a modest memory footprint."""
+    base = Datatype.named(np.uint8)
+    kind = draw(st.sampled_from(["vector", "hvector", "indexed", "subarray"]))
+    if kind == "vector":
+        count = draw(st.integers(1, 300))
+        bl = draw(st.integers(1, 8))
+        stride = draw(st.integers(bl, bl + 16))
+        return Datatype.vector(count, bl, stride, base).commit()
+    if kind == "hvector":
+        count = draw(st.integers(1, 200))
+        bl = draw(st.integers(1, 16))
+        stride = draw(st.integers(bl, bl + 64))
+        return Datatype.hvector(count, bl, stride, base).commit()
+    if kind == "indexed":
+        n = draw(st.integers(1, 20))
+        bls = draw(st.lists(st.integers(1, 8), min_size=n, max_size=n))
+        displs, cur = [], 0
+        for bl in bls:
+            cur += draw(st.integers(0, 16))
+            displs.append(cur)
+            cur += bl
+        return Datatype.indexed(bls, displs, base).commit()
+    rows = draw(st.integers(2, 40))
+    cols = draw(st.integers(2, 40))
+    sub_r = draw(st.integers(1, rows))
+    sub_c = draw(st.integers(1, cols))
+    start_r = draw(st.integers(0, rows - sub_r))
+    start_c = draw(st.integers(0, cols - sub_c))
+    return Datatype.subarray(
+        [rows, cols], [sub_r, sub_c], [start_r, start_c], base
+    ).commit()
+
+
+@settings(max_examples=30, deadline=None)
+@given(transfer_datatype(), st.integers(1, 3), st.booleans(), st.booleans())
+def test_random_datatype_gpu_transfer_bit_exact(dtype, count, src_dev, dst_dev):
+    """Any datatype, any buffer placement: delivered bytes are bit-exact."""
+    span = max(dtype.span_for_count(count), 1)
+    rng = np.random.default_rng(dtype.size * 131 + count)
+    payload = rng.integers(0, 256, span, dtype=np.uint8)
+
+    def program(ctx):
+        alloc = (
+            ctx.cuda.malloc
+            if (src_dev if ctx.rank == 0 else dst_dev)
+            else ctx.node.malloc_host
+        )
+        buf = alloc(span)
+        if ctx.rank == 0:
+            buf.view()[:] = payload
+            yield from ctx.comm.Send(buf, count, dtype, dest=1)
+            return pack_bytes(buf, dtype, count)
+        else:
+            yield from ctx.comm.Recv(buf, count, dtype, source=0)
+            return pack_bytes(buf, dtype, count)
+
+    sent, got = run_world(program, 2)
+    assert np.array_equal(sent, got)
+
+
+# -- random traffic schedules ---------------------------------------------------------
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 2),               # src
+            st.integers(0, 2),               # dst
+            st.integers(0, 3),               # tag
+            st.integers(1, 40_000),          # size bytes
+            st.booleans(),                   # device buffer?
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_random_traffic_delivery_and_ordering(msgs):
+    """A random batch of messages all arrives, bit-exact, and same-lane
+    (src, dst, tag) messages arrive in send order."""
+    lanes = {}
+    for i, (src, dst, tag, size, dev) in enumerate(msgs):
+        if src == dst:
+            continue
+        lanes.setdefault((src, dst, tag), []).append((i, size, dev))
+    if not lanes:
+        return
+
+    def program(ctx):
+        reqs = []
+        send_payloads = {}
+        recv_bufs = []
+        for (src, dst, tag), items in lanes.items():
+            for i, size, dev in items:
+                alloc = ctx.cuda.malloc if dev else ctx.node.malloc_host
+                if ctx.rank == src:
+                    buf = alloc(size)
+                    data = np.full(size, (i * 37 + 11) % 256, dtype=np.uint8)
+                    buf.view()[:] = data
+                    send_payloads[i] = data
+                    reqs.append(ctx.comm.Isend(buf, size, BYTE, dest=dst, tag=tag))
+                elif ctx.rank == dst:
+                    buf = alloc(size)
+                    recv_bufs.append((i, buf, size))
+                    reqs.append(
+                        ctx.comm.Irecv(buf, size, BYTE, source=src, tag=tag)
+                    )
+        yield from wait_all(reqs)
+        out = {}
+        for i, buf, size in recv_bufs:
+            out[i] = buf.view()[:size].copy()
+        return out
+
+    results = run_world(program, 3)
+    for (src, dst, tag), items in lanes.items():
+        # Non-overtaking: receives posted in order match sends in order,
+        # so received payload k must equal sent payload k of the lane.
+        got = results[dst]
+        for i, size, dev in items:
+            expect = np.full(size, (i * 37 + 11) % 256, dtype=np.uint8)
+            assert np.array_equal(got[i], expect), (
+                f"lane {(src, dst, tag)} message {i} corrupted or reordered"
+            )
+
+
+# -- determinism -------------------------------------------------------------------------
+
+def _timed_run(seed_sizes):
+    def program(ctx):
+        reqs = []
+        for tag, size in enumerate(seed_sizes):
+            buf = ctx.cuda.malloc(size)
+            if ctx.rank == 0:
+                reqs.append(ctx.comm.Isend(buf, size, BYTE, dest=1, tag=tag))
+            else:
+                reqs.append(ctx.comm.Irecv(buf, size, BYTE, source=0, tag=tag))
+        yield from wait_all(reqs)
+        return ctx.now
+
+    return run_world(program, 2)
+
+
+def test_simulation_is_deterministic():
+    """Two identical runs finish at the exact same simulated instant."""
+    sizes = [1000, 70_000, 256, 1 << 20, 4096]
+    assert _timed_run(sizes) == _timed_run(sizes)
+
+
+@given(st.lists(st.integers(1, 200_000), min_size=1, max_size=6))
+@settings(max_examples=10, deadline=None)
+def test_determinism_random_workloads(sizes):
+    assert _timed_run(sizes) == _timed_run(sizes)
+
+
+# -- the paper's pipeline latency model ---------------------------------------------------
+
+class TestPipelineLatencyModel:
+    def test_n_plus_2_law(self):
+        """Section IV-B: pipelined latency ~= (n+2) * T_d2d_nc2c(N/n) when
+        the device pack stage dominates (which it does for 4-byte-row
+        vectors). Check the simulator against the paper's analytic model."""
+        cfg = HardwareConfig.fermi_qdr()
+        gpu_cfg = GpuNcConfig()
+        message = 4 << 20
+        rows = message // 4
+        chunk = gpu_cfg.chunk_bytes
+        n = message // chunk
+        rows_per_chunk = rows // n
+        t_pack = cfg.memcpy2d_time(CopyKind.D2D, 4, rows_per_chunk, 8, 4)
+        model = (n + 2) * t_pack
+
+        from repro.bench import mv2_gpu_nc_latency
+
+        measured = mv2_gpu_nc_latency(message, iterations=2, verify=False)
+        assert measured == pytest.approx(model, rel=0.15)
+
+    def test_pipeline_beats_single_chunk(self):
+        """Chunking must beat a whole-message 'pipeline' of one chunk."""
+        from repro.bench import mv2_gpu_nc_latency
+
+        message = 1 << 20
+        chunked = mv2_gpu_nc_latency(message, iterations=2, verify=False)
+        single = mv2_gpu_nc_latency(
+            message, iterations=2, verify=False,
+            gpu_config=GpuNcConfig(chunk_bytes=message),
+        )
+        assert chunked < single
+
+
+# -- concurrent stress ------------------------------------------------------------------
+
+def test_many_concurrent_gpu_messages():
+    """32 simultaneous pipelined transfers between 4 ranks stay correct."""
+    size = 192 * 1024  # 3 chunks each
+
+    def program(ctx):
+        reqs = []
+        bufs = []
+        for tag in range(8):
+            for peer in range(ctx.size):
+                if peer == ctx.rank:
+                    continue
+                sbuf = ctx.cuda.malloc(size)
+                sbuf.view()[:4] = (ctx.rank * 8 + tag) % 256
+                reqs.append(ctx.comm.Isend(sbuf, size, BYTE, dest=peer, tag=tag))
+                rbuf = ctx.cuda.malloc(size)
+                bufs.append((peer, tag, rbuf))
+                reqs.append(
+                    ctx.comm.Irecv(rbuf, size, BYTE, source=peer, tag=tag)
+                )
+        yield from wait_all(reqs)
+        for peer, tag, rbuf in bufs:
+            expect = (peer * 8 + tag) % 256
+            assert rbuf.view()[0] == expect
+        return True
+
+    assert all(run_world(program, 4))

@@ -1,0 +1,194 @@
+"""Tests for the collective operations."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import BYTE, DOUBLE, FLOAT, INT, MpiError, run_world
+
+
+def host_buf(ctx, nbytes):
+    return ctx.node.malloc_host(nbytes)
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 7, 8])
+    def test_barrier_synchronizes(self, size):
+        """No rank leaves the barrier before the slowest rank enters it."""
+
+        def program(ctx):
+            enter = ctx.rank * 1e-4
+            yield ctx.env.timeout(enter)
+            yield from ctx.comm.Barrier()
+            return ctx.now
+
+        times = run_world(program, size)
+        slowest_entry = (size - 1) * 1e-4
+        assert all(t >= slowest_entry for t in times)
+
+    def test_barrier_repeated(self):
+        def program(ctx):
+            for _ in range(3):
+                yield from ctx.comm.Barrier()
+            return "ok"
+
+        assert run_world(program, 4) == ["ok"] * 4
+
+
+class TestBcast:
+    @pytest.mark.parametrize("size,root", [(2, 0), (4, 0), (4, 2), (7, 6), (8, 3)])
+    def test_bcast_delivers_to_all(self, size, root):
+        n = 256
+
+        def program(ctx):
+            buf = host_buf(ctx, n * 4)
+            if ctx.rank == root:
+                buf.view(np.float32)[:] = np.arange(n) + 0.5
+            yield from ctx.comm.Bcast(buf, n, FLOAT, root=root)
+            return buf.to_array(np.float32)
+
+        results = run_world(program, size)
+        expect = np.arange(n, dtype=np.float32) + 0.5
+        for r in results:
+            assert np.array_equal(r, expect)
+
+    def test_bcast_large_message(self):
+        n = 1 << 18
+
+        def program(ctx):
+            buf = host_buf(ctx, n)
+            if ctx.rank == 0:
+                buf.view()[:] = 0x3C
+            yield from ctx.comm.Bcast(buf, n, BYTE, root=0)
+            return int(buf.view()[0]), int(buf.view()[-1])
+
+        for first, last in run_world(program, 4):
+            assert first == last == 0x3C
+
+    def test_bcast_invalid_root(self):
+        def program(ctx):
+            buf = host_buf(ctx, 4)
+            with pytest.raises(MpiError):
+                yield from ctx.comm.Bcast(buf, 4, BYTE, root=9)
+
+        run_world(program, 2)
+
+    def test_bcast_device_buffers(self):
+        """Collectives ride the GPU-aware p2p path for device buffers."""
+        n = 1 << 15
+
+        def program(ctx):
+            buf = ctx.cuda.malloc(n * 4)
+            if ctx.rank == 0:
+                buf.view(np.float32)[:] = np.arange(n)
+            yield from ctx.comm.Bcast(buf, n, FLOAT, root=0)
+            return buf.to_array(np.float32)
+
+        for r in run_world(program, 4):
+            assert np.array_equal(r, np.arange(n, dtype=np.float32))
+
+
+class TestReduce:
+    @pytest.mark.parametrize("size", [1, 2, 3, 5, 8])
+    def test_sum_reduce(self, size):
+        n = 128
+
+        def program(ctx):
+            sbuf = host_buf(ctx, n * 8)
+            rbuf = host_buf(ctx, n * 8) if ctx.rank == 0 else None
+            sbuf.view(np.float64)[:] = np.arange(n) * (ctx.rank + 1)
+            yield from ctx.comm.Reduce(sbuf, rbuf, n, DOUBLE, op="sum", root=0)
+            if ctx.rank == 0:
+                return rbuf.to_array(np.float64)
+
+        results = run_world(program, size)
+        factor = sum(r + 1 for r in range(size))
+        assert np.allclose(results[0], np.arange(128) * factor)
+
+    @pytest.mark.parametrize("op,expect", [("max", 7.0), ("min", 1.0), ("prod", None)])
+    def test_other_ops(self, op, expect):
+        size = 7
+
+        def program(ctx):
+            sbuf = host_buf(ctx, 8)
+            rbuf = host_buf(ctx, 8)
+            sbuf.view(np.float64)[:] = float(ctx.rank + 1)
+            yield from ctx.comm.Reduce(sbuf, rbuf, 1, DOUBLE, op=op, root=0)
+            if ctx.rank == 0:
+                return float(rbuf.view(np.float64)[0])
+
+        results = run_world(program, size)
+        if op == "prod":
+            import math
+
+            assert results[0] == pytest.approx(math.factorial(size))
+        else:
+            assert results[0] == expect
+
+    def test_nonroot_recvbuf_optional(self):
+        def program(ctx):
+            sbuf = host_buf(ctx, 4)
+            sbuf.view(np.int32)[:] = ctx.rank
+            rbuf = host_buf(ctx, 4) if ctx.rank == 2 else None
+            yield from ctx.comm.Reduce(sbuf, rbuf, 1, INT, op="sum", root=2)
+            if ctx.rank == 2:
+                return int(rbuf.view(np.int32)[0])
+
+        assert run_world(program, 4)[2] == 0 + 1 + 2 + 3
+
+    def test_unknown_op_rejected(self):
+        def program(ctx):
+            sbuf = host_buf(ctx, 4)
+            rbuf = host_buf(ctx, 4)
+            with pytest.raises(MpiError):
+                yield from ctx.comm.Reduce(sbuf, rbuf, 1, INT, op="xor", root=0)
+
+        run_world(program, 2)
+
+    def test_root_without_recvbuf_rejected(self):
+        def program(ctx):
+            sbuf = host_buf(ctx, 4)
+            with pytest.raises(MpiError):
+                yield from ctx.comm.Reduce(sbuf, None, 1, INT, op="sum", root=0)
+
+        run_world(program, 1)
+
+
+class TestAllreduce:
+    def test_allreduce_sum(self):
+        size = 5
+
+        def program(ctx):
+            sbuf = host_buf(ctx, 16 * 4)
+            rbuf = host_buf(ctx, 16 * 4)
+            sbuf.view(np.int32)[:] = ctx.rank
+            yield from ctx.comm.Allreduce(sbuf, rbuf, 16, INT, op="sum")
+            return rbuf.to_array(np.int32)
+
+        for r in run_world(program, size):
+            assert (r == sum(range(size))).all()
+
+
+class TestAllgather:
+    @pytest.mark.parametrize("size", [1, 2, 4, 6])
+    def test_allgather_ring(self, size):
+        n = 32
+
+        def program(ctx):
+            sbuf = host_buf(ctx, n * 4)
+            rbuf = host_buf(ctx, size * n * 4)
+            sbuf.view(np.int32)[:] = ctx.rank * 100 + np.arange(n)
+            yield from ctx.comm.Allgather(sbuf, rbuf, n, INT)
+            return rbuf.to_array(np.int32).reshape(size, n)
+
+        for r in run_world(program, size):
+            for src in range(size):
+                assert np.array_equal(r[src], src * 100 + np.arange(n))
+
+    def test_allgather_small_recvbuf_rejected(self):
+        def program(ctx):
+            sbuf = host_buf(ctx, 16)
+            rbuf = host_buf(ctx, 16)  # needs 32 for 2 ranks
+            with pytest.raises(MpiError):
+                yield from ctx.comm.Allgather(sbuf, rbuf, 16, BYTE)
+
+        run_world(program, 2)

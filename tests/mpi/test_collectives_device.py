@@ -1,0 +1,93 @@
+"""Device-buffer collectives and the newer datatype constructors."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import DOUBLE, FLOAT, Datatype, run_world
+
+BYTE = Datatype.named(np.uint8, "BYTE")
+
+
+class TestDeviceReductions:
+    def test_reduce_device_operands(self):
+        """Device send buffers are staged through the host (charged) and
+        reduced on the CPU, like MVAPICH2 of the paper's era."""
+
+        def program(ctx):
+            sbuf = ctx.cuda.malloc(64 * 8)
+            sbuf.view(np.float64)[:] = np.arange(64) * (ctx.rank + 1)
+            rbuf = ctx.cuda.malloc(64 * 8) if ctx.rank == 0 else None
+            yield from ctx.comm.Reduce(sbuf, rbuf, 64, DOUBLE, op="sum", root=0)
+            if ctx.rank == 0:
+                return rbuf.to_array(np.float64)
+
+        out = run_world(program, 4)[0]
+        assert np.allclose(out, np.arange(64) * (1 + 2 + 3 + 4))
+
+    def test_allreduce_device(self):
+        def program(ctx):
+            sbuf = ctx.cuda.malloc(16 * 4)
+            rbuf = ctx.cuda.malloc(16 * 4)
+            sbuf.view(np.float32)[:] = float(ctx.rank)
+            yield from ctx.comm.Allreduce(sbuf, rbuf, 16, FLOAT, op="max")
+            return float(rbuf.view(np.float32)[0])
+
+        assert run_world(program, 3) == [2.0, 2.0, 2.0]
+
+    def test_device_reduce_takes_longer_than_host(self):
+        """The staging copies must cost simulated time."""
+        n = 1 << 18
+
+        def make(space):
+            def program(ctx):
+                alloc = ctx.cuda.malloc if space == "device" else ctx.node.malloc_host
+                sbuf = alloc(n * 4)
+                rbuf = alloc(n * 4)
+                yield from ctx.comm.Allreduce(sbuf, rbuf, n, FLOAT)
+                return ctx.now
+
+            return program
+
+        host_t = max(run_world(make("host"), 2))
+        dev_t = max(run_world(make("device"), 2))
+        assert dev_t > host_t
+
+
+class TestNewDatatypeConstructors:
+    def test_indexed_block(self):
+        t = Datatype.indexed_block(2, [0, 4, 8], FLOAT)
+        segs = list(zip(t.segments.offsets.tolist(), t.segments.lengths.tolist()))
+        assert segs == [(0, 8), (16, 8), (32, 8)]
+        assert t.size == 3 * 2 * 4
+
+    def test_indexed_block_negative_length(self):
+        with pytest.raises(Exception):
+            Datatype.indexed_block(-1, [0], FLOAT)
+
+    def test_dup_preserves_typemap_and_commit(self):
+        orig = Datatype.vector(4, 1, 2, FLOAT).commit()
+        copy = Datatype.dup(orig)
+        assert copy.committed
+        assert copy.size == orig.size and copy.extent == orig.extent
+        assert np.array_equal(copy.segments.offsets, orig.segments.offsets)
+        assert copy.type_id != orig.type_id
+
+    def test_dup_of_uncommitted_stays_uncommitted(self):
+        orig = Datatype.vector(4, 1, 2, FLOAT)
+        assert not Datatype.dup(orig).committed
+
+    def test_dup_usable_in_transfer(self):
+        vec = Datatype.dup(Datatype.vector(64, 1, 2, FLOAT).commit())
+
+        def program(ctx):
+            buf = ctx.cuda.malloc(64 * 8)
+            if ctx.rank == 0:
+                buf.view(np.float32)[0::2] = np.arange(64)
+                yield from ctx.comm.Send(buf, 1, vec, dest=1)
+            else:
+                yield from ctx.comm.Recv(buf, 1, vec, source=0)
+                assert np.array_equal(
+                    buf.view(np.float32)[0::2], np.arange(64, dtype=np.float32)
+                )
+
+        run_world(program, 2)

@@ -1,0 +1,231 @@
+"""Pack/unpack engine tests, including hypothesis round-trips against a
+naive reference implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import Arena, HardwareConfig
+from repro.mpi.datatype import Datatype, DatatypeError
+from repro.mpi.pack import (
+    host_pack_time,
+    pack_bytes,
+    pack_into,
+    pack_range_bytes,
+    unpack_from,
+    unpack_range_from,
+)
+
+FLOAT = Datatype.named(np.float32, "FLOAT")
+BYTE = Datatype.named(np.uint8, "BYTE")
+
+
+def make_buf(nbytes, fill=None, space="host"):
+    arena = Arena(max(nbytes, 1) + 4096, space=space)
+    buf = arena.alloc(max(nbytes, 1))
+    if fill is not None:
+        buf.view()[: len(fill)] = fill
+    return buf
+
+
+def reference_pack(raw: np.ndarray, dtype: Datatype, count: int) -> np.ndarray:
+    """Naive per-segment packing used as the oracle."""
+    out = []
+    segs = dtype.segments_for_count(count)
+    for off, length in zip(segs.offsets.tolist(), segs.lengths.tolist()):
+        out.append(raw[off : off + length])
+    return np.concatenate(out) if out else np.empty(0, np.uint8)
+
+
+class TestPackBasics:
+    def test_pack_vector_column(self):
+        raw = np.arange(64, dtype=np.uint8)
+        buf = make_buf(64, raw)
+        col = Datatype.vector(4, 1, 4, FLOAT).commit()
+        packed = pack_bytes(buf, col, 1)
+        assert packed.tolist() == [0, 1, 2, 3, 16, 17, 18, 19, 32, 33, 34, 35, 48, 49, 50, 51]
+
+    def test_pack_contiguous_is_plain_copy(self):
+        raw = np.arange(40, dtype=np.uint8)
+        buf = make_buf(40, raw)
+        t = Datatype.contiguous(10, FLOAT)
+        assert np.array_equal(pack_bytes(buf, t, 1), raw)
+
+    def test_pack_respects_typemap_order(self):
+        raw = np.arange(8, dtype=np.uint8)
+        buf = make_buf(8, raw)
+        t = Datatype.hindexed([2, 2], [4, 0], BYTE)  # second block first in memory
+        assert pack_bytes(buf, t, 1).tolist() == [4, 5, 0, 1]
+
+    def test_pack_count_gt_one(self):
+        raw = np.arange(64, dtype=np.uint8)
+        buf = make_buf(64, raw)
+        t = Datatype.vector(2, 1, 2, FLOAT)  # extent 12... elements tile
+        packed = pack_bytes(buf, t, 2)
+        assert np.array_equal(packed, reference_pack(raw, t, 2))
+
+    def test_pack_into_and_unpack_from(self):
+        raw = np.arange(64, dtype=np.uint8)
+        src = make_buf(64, raw)
+        t = Datatype.vector(4, 1, 4, FLOAT)
+        staging = make_buf(t.size)
+        n = pack_into(src, t, 1, staging)
+        assert n == t.size
+        dst = make_buf(64)
+        consumed = unpack_from(staging, t, 1, dst)
+        assert consumed == t.size
+        # Unpacked bytes land in the right strided positions; gaps untouched.
+        out = dst.view().reshape(4, 16)
+        assert np.array_equal(out[:, :4], raw.reshape(4, 16)[:, :4])
+        assert (out[:, 4:] == 0).all()
+
+    def test_bounds_violation_rejected(self):
+        buf = make_buf(15)
+        t = Datatype.contiguous(4, FLOAT)
+        with pytest.raises(DatatypeError):
+            pack_bytes(buf, t, 1)
+
+    def test_pack_into_small_destination_rejected(self):
+        src = make_buf(64)
+        t = Datatype.contiguous(16, FLOAT)
+        dst = make_buf(8)
+        with pytest.raises(DatatypeError):
+            pack_into(src, t, 1, dst)
+
+    def test_unpack_short_source_rejected(self):
+        src = make_buf(4)
+        dst = make_buf(64)
+        t = Datatype.contiguous(16, FLOAT)
+        with pytest.raises(DatatypeError):
+            unpack_from(src, t, 1, dst)
+
+    def test_zero_count_noop(self):
+        buf = make_buf(16)
+        assert pack_bytes(buf, FLOAT, 0).size == 0
+
+
+class TestRangePack:
+    def test_chunked_pack_equals_whole(self):
+        raw = np.random.default_rng(7).integers(0, 256, 256, dtype=np.uint8)
+        buf = make_buf(256, raw)
+        t = Datatype.vector(8, 2, 4, FLOAT).commit()
+        whole = pack_bytes(buf, t, 1)
+        parts = [
+            pack_range_bytes(buf, t, 1, lo, min(lo + 24, t.size))
+            for lo in range(0, t.size, 24)
+        ]
+        assert np.array_equal(np.concatenate(parts), whole)
+
+    def test_chunked_unpack_equals_whole(self):
+        rng = np.random.default_rng(11)
+        t = Datatype.vector(8, 2, 4, FLOAT).commit()
+        packed = rng.integers(0, 256, t.size, dtype=np.uint8)
+        want = make_buf(256)
+        unpack_from(make_buf(t.size, packed), t, 1, want)
+
+        got = make_buf(256)
+        for lo in range(0, t.size, 24):
+            hi = min(lo + 24, t.size)
+            chunk = make_buf(hi - lo, packed[lo:hi])
+            unpack_range_from(chunk, t, 1, got, lo, hi)
+        assert np.array_equal(got.view(), want.view())
+
+
+class TestPackTiming:
+    def test_contiguous_cheaper_than_strided(self):
+        cfg = HardwareConfig.fermi_qdr()
+        contig = Datatype.contiguous(1 << 16, FLOAT)
+        strided = Datatype.vector(1 << 16, 1, 2, FLOAT)
+        assert host_pack_time(cfg, contig, 1) < host_pack_time(cfg, strided, 1)
+
+    def test_scales_with_count(self):
+        cfg = HardwareConfig.fermi_qdr()
+        t = Datatype.vector(64, 1, 2, FLOAT)
+        assert host_pack_time(cfg, t, 4) > host_pack_time(cfg, t, 1)
+
+
+# -- hypothesis strategies -----------------------------------------------------------
+
+primitive = st.sampled_from(
+    [Datatype.named(np.uint8), Datatype.named(np.float32), Datatype.named(np.float64)]
+)
+
+
+@st.composite
+def derived_datatype(draw, depth=0):
+    base = (
+        draw(primitive)
+        if depth >= 2 or draw(st.booleans())
+        else draw(derived_datatype(depth=depth + 1))
+    )
+    kind = draw(st.sampled_from(["contiguous", "vector", "indexed", "hvector"]))
+    if kind == "contiguous":
+        return Datatype.contiguous(draw(st.integers(1, 5)), base)
+    if kind == "vector":
+        count = draw(st.integers(1, 6))
+        bl = draw(st.integers(1, 4))
+        stride = draw(st.integers(bl, bl + 4))
+        return Datatype.vector(count, bl, stride, base)
+    if kind == "hvector":
+        count = draw(st.integers(1, 6))
+        bl = draw(st.integers(1, 3))
+        stride = draw(st.integers(bl * base.extent, bl * base.extent + 32))
+        return Datatype.hvector(count, bl, stride, base)
+    n = draw(st.integers(1, 4))
+    bls = draw(st.lists(st.integers(1, 3), min_size=n, max_size=n))
+    # Strictly increasing, non-overlapping displacements.
+    displs = []
+    cur = 0
+    for bl in bls:
+        cur += draw(st.integers(0, 3))
+        displs.append(cur)
+        cur += bl
+    return Datatype.indexed(bls, displs, base)
+
+
+@settings(max_examples=80, deadline=None)
+@given(derived_datatype(), st.integers(1, 3), st.randoms())
+def test_pack_matches_reference_oracle(dtype, count, rnd):
+    span = dtype.span_for_count(count)
+    raw = np.frombuffer(
+        bytes(rnd.getrandbits(8) for _ in range(span)), dtype=np.uint8
+    ).copy() if span else np.empty(0, np.uint8)
+    buf = make_buf(max(span, 1), raw)
+    packed = pack_bytes(buf, dtype, count)
+    assert packed.nbytes == dtype.size * count
+    assert np.array_equal(packed, reference_pack(buf.view(), dtype, count))
+
+
+@settings(max_examples=80, deadline=None)
+@given(derived_datatype(), st.integers(1, 3))
+def test_pack_unpack_roundtrip(dtype, count):
+    """unpack(pack(x)) restores exactly the bytes the type covers."""
+    span = dtype.span_for_count(count)
+    rng = np.random.default_rng(dtype.size * 31 + count)
+    raw = rng.integers(0, 256, max(span, 1), dtype=np.uint8)
+    src = make_buf(max(span, 1), raw)
+    packed = pack_bytes(src, dtype, count)
+
+    dst = make_buf(max(span, 1))
+    staging = make_buf(max(packed.nbytes, 1), packed)
+    unpack_from(staging, dtype, count, dst)
+    repacked = pack_bytes(dst, dtype, count)
+    assert np.array_equal(repacked, packed)
+
+
+@settings(max_examples=60, deadline=None)
+@given(derived_datatype(), st.integers(1, 2), st.integers(1, 64))
+def test_chunked_pack_matches_whole_pack(dtype, count, chunk):
+    span = dtype.span_for_count(count)
+    rng = np.random.default_rng(span + chunk)
+    raw = rng.integers(0, 256, max(span, 1), dtype=np.uint8)
+    buf = make_buf(max(span, 1), raw)
+    whole = pack_bytes(buf, dtype, count)
+    total = dtype.size * count
+    parts = [
+        pack_range_bytes(buf, dtype, count, lo, min(lo + chunk, total))
+        for lo in range(0, total, chunk)
+    ]
+    got = np.concatenate(parts) if parts else np.empty(0, np.uint8)
+    assert np.array_equal(got, whole)

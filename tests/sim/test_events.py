@@ -1,0 +1,181 @@
+"""Unit tests for the event primitives."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment, Event, SimulationError, Timeout
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestEventLifecycle:
+    def test_fresh_event_is_pending(self, env):
+        ev = env.event()
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_value_before_trigger_raises(self, env):
+        ev = env.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_ok_before_trigger_raises(self, env):
+        ev = env.event()
+        with pytest.raises(SimulationError):
+            _ = ev.ok
+
+    def test_succeed_sets_value(self, env):
+        ev = env.event()
+        ev.succeed(42)
+        assert ev.triggered
+        assert ev.ok
+        assert ev.value == 42
+
+    def test_succeed_twice_raises(self, env):
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_then_succeed_raises(self, env):
+        ev = env.event()
+        ev.fail(RuntimeError("x"))
+        ev.defuse()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self, env):
+        ev = env.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_callbacks_run_on_processing(self, env):
+        ev = env.event()
+        seen = []
+        ev.callbacks.append(lambda e: seen.append(e.value))
+        ev.succeed("hello")
+        assert seen == []  # not yet processed
+        env.run()
+        assert seen == ["hello"]
+
+    def test_unhandled_failure_aborts_run(self, env):
+        ev = env.event()
+        ev.fail(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            env.run()
+
+    def test_defused_failure_does_not_abort(self, env):
+        ev = env.event()
+        ev.fail(ValueError("boom"))
+        ev.defuse()
+        env.run()  # no raise
+        assert not ev.ok
+
+    def test_trigger_copies_state(self, env):
+        a, b = env.event(), env.event()
+        a.succeed(7)
+        env.run()
+        b.trigger(a)
+        assert b.ok and b.value == 7
+
+
+class TestTimeout:
+    def test_timeout_fires_at_delay(self, env):
+        t = env.timeout(5.0, value="done")
+        env.run()
+        assert env.now == 5.0
+        assert t.value == "done"
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_zero_delay_ok(self, env):
+        env.timeout(0.0)
+        env.run()
+        assert env.now == 0.0
+
+    def test_timeouts_process_in_time_order(self, env):
+        order = []
+        for delay in (3.0, 1.0, 2.0):
+            ev = env.timeout(delay, value=delay)
+            ev.callbacks.append(lambda e: order.append(e.value))
+        env.run()
+        assert order == [1.0, 2.0, 3.0]
+
+    def test_same_time_fifo_order(self, env):
+        order = []
+        for i in range(10):
+            ev = env.timeout(1.0, value=i)
+            ev.callbacks.append(lambda e: order.append(e.value))
+        env.run()
+        assert order == list(range(10))
+
+
+class TestConditions:
+    def test_all_of_waits_for_everything(self, env):
+        a = env.timeout(1.0, value="a")
+        b = env.timeout(2.0, value="b")
+        done = AllOf(env, [a, b])
+        env.run(done)
+        assert env.now == 2.0
+        assert done.value == {a: "a", b: "b"}
+
+    def test_any_of_fires_on_first(self, env):
+        a = env.timeout(1.0, value="a")
+        b = env.timeout(2.0, value="b")
+        done = AnyOf(env, [a, b])
+        env.run(done)
+        assert env.now == 1.0
+        assert done.value == {a: "a"}
+
+    def test_empty_all_of_fires_immediately(self, env):
+        done = AllOf(env, [])
+        env.run()
+        assert done.processed and done.value == {}
+
+    def test_operator_and(self, env):
+        a = env.timeout(1.0)
+        b = env.timeout(2.0)
+        env.run(a & b)
+        assert env.now == 2.0
+
+    def test_operator_or(self, env):
+        a = env.timeout(1.0)
+        b = env.timeout(2.0)
+        env.run(a | b)
+        assert env.now == 1.0
+
+    def test_all_of_with_already_processed_event(self, env):
+        a = env.timeout(1.0, value="a")
+        env.run()
+        b = env.timeout(1.0, value="b")
+        done = AllOf(env, [a, b])
+        env.run(done)
+        assert done.value == {a: "a", b: "b"}
+
+    def test_all_of_propagates_failure(self, env):
+        a = env.timeout(1.0)
+        b = env.event()
+        b.fail(RuntimeError("inner"))
+        done = AllOf(env, [a, b])
+        done.defuse()
+        env.run()
+        assert done.triggered and not done.ok
+        assert isinstance(done.value, RuntimeError)
+
+    def test_condition_rejects_foreign_events(self, env):
+        other = Environment()
+        with pytest.raises(SimulationError):
+            AllOf(env, [env.event(), other.event()])
+
+    def test_late_sibling_failure_after_anyof_fired_is_defused(self, env):
+        a = env.timeout(1.0, value="fast")
+        b = env.event()
+        done = AnyOf(env, [a, b])
+        env.run(done)
+        b.fail(RuntimeError("late"))
+        env.run()  # must not raise: the condition defuses it
+        assert done.value == {a: "fast"}

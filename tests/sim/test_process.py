@@ -1,0 +1,223 @@
+"""Unit tests for process coroutines."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, SimulationError
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestBasicProcesses:
+    def test_process_advances_clock(self, env):
+        def proc():
+            yield env.timeout(3.0)
+            yield env.timeout(4.0)
+            return "done"
+
+        p = env.process(proc())
+        result = env.run(p)
+        assert result == "done"
+        assert env.now == 7.0
+
+    def test_process_return_value(self, env):
+        def proc():
+            yield env.timeout(1.0)
+            return 123
+
+        assert env.run(env.process(proc())) == 123
+
+    def test_process_receives_event_value(self, env):
+        def proc():
+            got = yield env.timeout(1.0, value="payload")
+            return got
+
+        assert env.run(env.process(proc())) == "payload"
+
+    def test_processes_interleave(self, env):
+        log = []
+
+        def worker(name, delay):
+            for i in range(3):
+                yield env.timeout(delay)
+                log.append((name, env.now))
+
+        env.process(worker("a", 1.0))
+        env.process(worker("b", 1.5))
+        env.run()
+        # At t=3.0 both fire; "b" scheduled its timeout earlier (t=1.5 vs
+        # t=2.0) so FIFO tie-breaking resumes it first.
+        assert log == [
+            ("a", 1.0),
+            ("b", 1.5),
+            ("a", 2.0),
+            ("b", 3.0),
+            ("a", 3.0),
+            ("b", 4.5),
+        ]
+
+    def test_process_waits_on_another_process(self, env):
+        def child():
+            yield env.timeout(2.0)
+            return "child-result"
+
+        def parent():
+            result = yield env.process(child())
+            return result
+
+        assert env.run(env.process(parent())) == "child-result"
+        assert env.now == 2.0
+
+    def test_yield_from_composition(self, env):
+        def inner():
+            yield env.timeout(1.0)
+            return 10
+
+        def outer():
+            a = yield from inner()
+            b = yield from inner()
+            return a + b
+
+        assert env.run(env.process(outer())) == 20
+        assert env.now == 2.0
+
+    def test_process_waiting_on_already_processed_event(self, env):
+        ev = env.timeout(0.0, value="early")
+        env.run()
+        assert ev.processed
+
+        def proc():
+            got = yield ev
+            return got
+
+        assert env.run(env.process(proc())) == "early"
+
+    def test_non_generator_rejected(self, env):
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_yield_non_event_fails_process(self, env):
+        def proc():
+            yield 42
+
+        p = env.process(proc())
+        with pytest.raises(SimulationError, match="non-event"):
+            env.run(p)
+
+    def test_exception_in_process_propagates(self, env):
+        def proc():
+            yield env.timeout(1.0)
+            raise KeyError("inner")
+
+        p = env.process(proc())
+        with pytest.raises(KeyError):
+            env.run(p)
+
+    def test_failed_event_thrown_into_waiter(self, env):
+        failing = env.event()
+
+        def failer():
+            yield env.timeout(1.0)
+            failing.fail(RuntimeError("expected"))
+
+        def waiter():
+            try:
+                yield failing
+            except RuntimeError as exc:
+                return f"caught:{exc}"
+
+        env.process(failer())
+        p = env.process(waiter())
+        assert env.run(p) == "caught:expected"
+
+    def test_active_process_tracking(self, env):
+        seen = []
+
+        def proc():
+            seen.append(env.active_process)
+            yield env.timeout(1.0)
+            seen.append(env.active_process)
+
+        p = env.process(proc())
+        env.run()
+        assert seen == [p, p]
+        assert env.active_process is None
+
+
+class TestInterrupts:
+    def test_interrupt_wakes_waiting_process(self, env):
+        def sleeper():
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as i:
+                return ("interrupted", i.cause, env.now)
+
+        p = env.process(sleeper())
+
+        def interrupter():
+            yield env.timeout(2.0)
+            p.interrupt("wake up")
+
+        env.process(interrupter())
+        assert env.run(p) == ("interrupted", "wake up", 2.0)
+
+    def test_interrupt_finished_process_raises(self, env):
+        def quick():
+            yield env.timeout(1.0)
+
+        p = env.process(quick())
+        env.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_process_survives_interrupt_and_continues(self, env):
+        def sleeper():
+            try:
+                yield env.timeout(100.0)
+            except Interrupt:
+                pass
+            yield env.timeout(1.0)
+            return env.now
+
+        p = env.process(sleeper())
+
+        def interrupter():
+            yield env.timeout(5.0)
+            p.interrupt()
+
+        env.process(interrupter())
+        assert env.run(p) == 6.0
+
+
+class TestRunControl:
+    def test_run_until_time(self, env):
+        ticks = []
+
+        def clock():
+            while True:
+                yield env.timeout(1.0)
+                ticks.append(env.now)
+
+        env.process(clock())
+        env.run(until=3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+        assert env.now == 3.5
+
+    def test_run_until_past_time_rejected(self, env):
+        env.timeout(10.0)
+        env.run()
+        with pytest.raises(ValueError):
+            env.run(until=5.0)
+
+    def test_run_until_event_deadlock_detected(self, env):
+        never = env.event()
+        with pytest.raises(SimulationError, match="deadlock"):
+            env.run(never)
+
+    def test_run_empty_schedule_returns_none(self, env):
+        assert env.run() is None
+
+    def test_peek_empty(self, env):
+        assert env.peek() == float("inf")

@@ -1,0 +1,106 @@
+"""Unit and property tests for interval tracing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import Tracer, union_duration
+
+
+class TestTracer:
+    def test_record_and_breakdown(self):
+        tr = Tracer()
+        tr.record(0.0, 1.0, "d2h", "copy")
+        tr.record(1.0, 3.0, "d2h", "copy")
+        tr.record(0.0, 5.0, "net", "rdma")
+        assert tr.breakdown() == {"d2h": 3.0, "net": 5.0}
+
+    def test_breakdown_by_label(self):
+        tr = Tracer()
+        tr.record(0.0, 1.0, "d2h", "east")
+        tr.record(0.0, 2.0, "h2d", "east")
+        tr.record(0.0, 4.0, "d2h", "west")
+        assert tr.breakdown(key="label") == {"east": 3.0, "west": 4.0}
+
+    def test_busy_time_merges_overlaps(self):
+        tr = Tracer()
+        tr.record(0.0, 2.0, "eng", "a")
+        tr.record(1.0, 3.0, "eng", "b")
+        assert tr.busy_time("eng") == 3.0
+        assert tr.total_time("eng") == 4.0
+
+    def test_invalid_interval_rejected(self):
+        tr = Tracer()
+        with pytest.raises(ValueError):
+            tr.record(2.0, 1.0, "eng", "x")
+
+    def test_disabled_tracer_records_nothing(self):
+        tr = Tracer(enabled=False)
+        tr.record(0.0, 1.0, "eng", "x")
+        assert tr.intervals == []
+
+    def test_meta_lookup(self):
+        tr = Tracer()
+        tr.record(0.0, 1.0, "eng", "x", direction="east", bytes=1024)
+        iv = tr.intervals[0]
+        assert iv.get("direction") == "east"
+        assert iv.get("bytes") == 1024
+        assert iv.get("missing", "dflt") == "dflt"
+
+    def test_by_engine_and_label(self):
+        tr = Tracer()
+        tr.record(0.0, 1.0, "a", "x:1")
+        tr.record(0.0, 1.0, "b", "x:2")
+        tr.record(0.0, 1.0, "a", "y:1")
+        assert len(tr.by_engine("a")) == 2
+        assert len(tr.by_label("x:")) == 2
+
+    def test_clear(self):
+        tr = Tracer()
+        tr.record(0.0, 1.0, "a", "x")
+        tr.clear()
+        assert tr.intervals == []
+
+
+spans_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=1e3, allow_nan=False),
+        st.floats(min_value=0, max_value=1e3, allow_nan=False),
+    ).map(lambda t: (min(t), max(t))),
+    max_size=30,
+)
+
+
+class TestUnionDuration:
+    def test_empty(self):
+        assert union_duration([]) == 0.0
+
+    def test_disjoint(self):
+        assert union_duration([(0, 1), (2, 3)]) == 2.0
+
+    def test_nested(self):
+        assert union_duration([(0, 10), (2, 3)]) == 10.0
+
+    def test_touching(self):
+        assert union_duration([(0, 1), (1, 2)]) == 2.0
+
+    @given(spans_strategy)
+    def test_union_at_most_sum(self, spans):
+        assert union_duration(spans) <= sum(e - s for s, e in spans) + 1e-9
+
+    @given(spans_strategy)
+    def test_union_at_least_longest(self, spans):
+        longest = max((e - s for s, e in spans), default=0.0)
+        assert union_duration(spans) >= longest - 1e-9
+
+    @given(spans_strategy)
+    def test_union_within_hull(self, spans):
+        if not spans:
+            return
+        lo = min(s for s, _ in spans)
+        hi = max(e for _, e in spans)
+        assert union_duration(spans) <= (hi - lo) + 1e-9
+
+    @given(spans_strategy, spans_strategy)
+    def test_union_monotone_under_superset(self, a, b):
+        assert union_duration(a + b) >= union_duration(a) - 1e-9
