@@ -3,16 +3,23 @@
 Usage::
 
     python -m repro.bench fig2 fig5 --scale quick
-    python -m repro.bench all --scale full
+    python -m repro.bench all --scale full --jobs 4
+
+Independent experiments fan across ``--jobs`` worker processes (each with
+its own deterministic simulation environment and per-run seed); output is
+identical to a serial run. Every run records its wall-clock per experiment
+in ``BENCH_hotpath.json`` and ends with a one-line perf-stats footer
+(segment-cache hit rates, vectorized pack-path counters).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 from .experiments import EXPERIMENTS
+from .parallel import run_many
+from .report import perf_stats_footer
 
 
 def main(argv=None) -> int:
@@ -32,19 +39,35 @@ def main(argv=None) -> int:
         default="full",
         help="'full' = paper parameters (minutes); 'quick' = reduced (seconds)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan independent experiments across N worker processes "
+        "(default 1 = serial; results and output order are identical)",
+    )
+    parser.add_argument(
+        "--no-record",
+        action="store_true",
+        help="do not update BENCH_hotpath.json with this run's wall-clock",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiments: {unknown}; have {list(EXPERIMENTS)}")
 
-    for name in names:
-        start = time.time()
-        result = EXPERIMENTS[name](scale=args.scale)
-        elapsed = time.time() - start
-        print(result["text"])
-        print(f"[{name} regenerated in {elapsed:.1f}s wall time]\n")
+    results = run_many(
+        names, scale=args.scale, jobs=args.jobs, record=not args.no_record
+    )
+    for res in results:
+        print(res.text)
+        print(f"[{res.name} regenerated in {res.elapsed:.1f}s wall time]\n")
+    print(perf_stats_footer())
     return 0
 
 

@@ -4,13 +4,32 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from ..perf.stats import PERF
+
 __all__ = [
     "format_size",
     "format_time",
     "table",
     "series_table",
     "comparison_row",
+    "perf_stats_footer",
 ]
+
+
+def perf_stats_footer(snapshot: Optional[Dict[str, int]] = None) -> str:
+    """One-line wall-clock perf summary for the bench CLI.
+
+    Reports the segment/slice cache hit rates and the vectorized-path
+    counters of :data:`repro.perf.stats.PERF` (or of an explicit snapshot,
+    e.g. one collected from a parallel worker process).
+    """
+    if snapshot is None:
+        return PERF.footer()
+    from ..perf.stats import PerfStats
+
+    stats = PerfStats()
+    stats.merge(snapshot)
+    return stats.footer()
 
 
 def format_size(nbytes: int) -> str:

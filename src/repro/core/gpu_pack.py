@@ -39,7 +39,7 @@ def gpu_pack_cost(
 ) -> float:
     """Device time to pack/unpack packed-byte range ``[lo, hi)``."""
     cfg = cuda.cfg
-    segs = dtype.segments_for_count(count).slice_bytes(lo, hi)
+    segs = dtype.segments_for_range(count, lo, hi)
     uniform = segs.uniform()
     if uniform is not None:
         width, height, pitch = uniform

@@ -221,7 +221,7 @@ class GpuNcEngine:
     ) -> Event:
         """No-offload fallback: move a strided chunk across PCIe directly."""
         cfg = endpoint.cfg
-        segs = dtype.segments_for_count(count).slice_bytes(lo, hi)
+        segs = dtype.segments_for_range(count, lo, hi)
         duration = strided_pcie_cost(cfg, segs)
         if kind is CopyKind.D2H:
             def apply():

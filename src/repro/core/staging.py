@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from ..hw.memory import BufferPtr
+from ..perf.stats import PERF
 from ..sim import Store
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -37,8 +38,13 @@ class TbufPool:
     def available(self) -> int:
         return len(self._store)
 
+    @property
+    def in_use(self) -> int:
+        return self.count - len(self._store)
+
     def acquire(self):
         """Get one tbuf chunk (an event; yield it)."""
+        PERF.bump("tbuf_acquire")
         return self._store.get()
 
     def release(self, buf: BufferPtr) -> None:

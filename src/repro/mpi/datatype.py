@@ -21,11 +21,18 @@ A flattened type is a :class:`SegmentList`: byte offsets + lengths in
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..perf.stats import PERF
+
 __all__ = ["Datatype", "SegmentList", "DatatypeError"]
+
+#: Sentinel distinguishing "not yet computed" from a legitimate ``None``
+#: result in the :class:`SegmentList` memo slots.
+_UNSET = object()
 
 
 class DatatypeError(ValueError):
@@ -36,9 +43,17 @@ _ids = itertools.count(1)
 
 
 class SegmentList:
-    """Contiguous byte runs of a flattened datatype, in pack order."""
+    """Contiguous byte runs of a flattened datatype, in pack order.
 
-    __slots__ = ("offsets", "lengths", "_prefix")
+    Instances are logically immutable: derived quantities (prefix sums,
+    total size, span, uniformity, gather indices) are memoized on first
+    use, so a cached SegmentList amortizes *all* of its analysis across
+    every pack/unpack that reuses it. Callers must never mutate the
+    ``offsets``/``lengths`` arrays in place.
+    """
+
+    __slots__ = ("offsets", "lengths", "_prefix", "_total", "_span",
+                 "_uniform", "_indices")
 
     def __init__(self, offsets: np.ndarray, lengths: np.ndarray):
         if offsets.shape != lengths.shape:
@@ -46,6 +61,10 @@ class SegmentList:
         self.offsets = offsets.astype(np.int64, copy=False)
         self.lengths = lengths.astype(np.int64, copy=False)
         self._prefix: Optional[np.ndarray] = None
+        self._total: Optional[int] = None
+        self._span: Optional[Tuple[int, int]] = None
+        self._uniform = _UNSET
+        self._indices: Optional[np.ndarray] = None
 
     @property
     def count(self) -> int:
@@ -53,7 +72,9 @@ class SegmentList:
 
     @property
     def total_bytes(self) -> int:
-        return int(self.lengths.sum())
+        if self._total is None:
+            self._total = int(self.lengths.sum())
+        return self._total
 
     @property
     def prefix(self) -> np.ndarray:
@@ -69,14 +90,34 @@ class SegmentList:
         if self.count <= 1:
             return self
         offs, lens = self.offsets, self.lengths
-        # boundary[i] is True when segment i starts a new run.
+        # joinable[i] is True when segment i+1 continues segment i.
         joinable = offs[1:] == offs[:-1] + lens[:-1]
-        boundaries = np.concatenate(([True], ~joinable))
-        group = np.cumsum(boundaries) - 1
-        ngroups = int(group[-1]) + 1
-        new_offs = offs[boundaries]
-        new_lens = np.zeros(ngroups, dtype=np.int64)
-        np.add.at(new_lens, group, lens)
+        njoin = int(np.count_nonzero(joinable))
+        if njoin == 0:
+            # Nothing adjacent (e.g. any strided vector with a gap): the
+            # list is already coalesced. This is the common case, so skip
+            # the grouping machinery entirely.
+            return self
+        if njoin == joinable.shape[0]:
+            # Fully contiguous: one run from first start to last end.
+            start = int(offs[0])
+            end = int(offs[-1] + lens[-1])
+            return SegmentList(
+                np.array([start], np.int64), np.array([end - start], np.int64)
+            )
+        # General case. Within a run segments are back-to-back, so each
+        # run's length is (end of its last segment) - (its first offset);
+        # this avoids the cumsum + ufunc.at of the naive grouping.
+        boundaries = np.empty(self.count, dtype=bool)
+        boundaries[0] = True
+        np.logical_not(joinable, out=boundaries[1:])
+        starts_idx = np.flatnonzero(boundaries)
+        ends = offs + lens
+        last_idx = np.empty(starts_idx.shape[0], dtype=np.int64)
+        last_idx[:-1] = starts_idx[1:] - 1
+        last_idx[-1] = self.count - 1
+        new_offs = offs[starts_idx]
+        new_lens = ends[last_idx] - new_offs
         return SegmentList(new_offs, new_lens)
 
     def shifted(self, delta: int) -> "SegmentList":
@@ -101,6 +142,9 @@ class SegmentList:
         total = self.total_bytes
         if not (0 <= lo <= hi <= total):
             raise ValueError(f"range [{lo}, {hi}) outside packed size {total}")
+        if lo == 0 and hi == total:
+            # Full-range slice: the list itself (and its memoized analysis).
+            return self
         if lo == hi:
             return SegmentList(np.empty(0, np.int64), np.empty(0, np.int64))
         prefix = self.prefix
@@ -121,6 +165,11 @@ class SegmentList:
     def uniform(self) -> Optional[Tuple[int, int, int]]:
         """``(width, height, pitch)`` when the layout is a uniform 2-D
         pattern expressible as one ``cudaMemcpy2D``; otherwise None."""
+        if self._uniform is _UNSET:
+            self._uniform = self._classify_uniform()
+        return self._uniform
+
+    def _classify_uniform(self) -> Optional[Tuple[int, int, int]]:
         if self.count == 0:
             return None
         lens = self.lengths
@@ -138,27 +187,41 @@ class SegmentList:
         return (width, self.count, pitch)
 
     def gather_indices(self) -> np.ndarray:
-        """Flat element indices covered, in pack order (general gather)."""
+        """Flat element indices covered, in pack order (general gather).
+
+        Memoized: the flat index array is built once per SegmentList and
+        reused, turning every subsequent gather/scatter over this layout
+        into a single NumPy fancy-indexing operation with zero setup.
+        """
+        if self._indices is not None:
+            PERF.bump("index_reuse")
+            return self._indices
+        PERF.bump("index_build")
         total = self.total_bytes
         if total == 0:
-            return np.empty(0, dtype=np.int64)
-        lens = self.lengths
-        starts = self.offsets
-        # Classic repeat/cumsum run-length expansion.
-        idx = np.repeat(starts, lens) + (
-            np.arange(total, dtype=np.int64)
-            - np.repeat(self.prefix, lens)
-        )
+            idx = np.empty(0, dtype=np.int64)
+        else:
+            lens = self.lengths
+            starts = self.offsets
+            # Classic repeat/cumsum run-length expansion.
+            idx = np.repeat(starts, lens) + (
+                np.arange(total, dtype=np.int64)
+                - np.repeat(self.prefix, lens)
+            )
+        self._indices = idx
         return idx
 
     def span(self) -> Tuple[int, int]:
         """``(min_offset, max_end)`` over all segments (0,0 when empty)."""
-        if self.count == 0:
-            return (0, 0)
-        return (
-            int(self.offsets.min()),
-            int((self.offsets + self.lengths).max()),
-        )
+        if self._span is None:
+            if self.count == 0:
+                self._span = (0, 0)
+            else:
+                self._span = (
+                    int(self.offsets.min()),
+                    int((self.offsets + self.lengths).max()),
+                )
+        return self._span
 
 
 class Datatype:
@@ -170,6 +233,10 @@ class Datatype:
     being used in communication, exactly as in MPI.
     """
 
+    #: LRU capacities of the per-instance segment-compilation caches.
+    SEG_CACHE_CAP = 64
+    SLICE_CACHE_CAP = 256
+
     __slots__ = (
         "name",
         "size",
@@ -179,6 +246,9 @@ class Datatype:
         "_committed",
         "type_id",
         "base_np",
+        "version",
+        "_seg_cache",
+        "_slice_cache",
     )
 
     def __init__(
@@ -205,6 +275,16 @@ class Datatype:
         self._committed = False
         self.type_id = next(_ids)
         self.base_np = base_np
+        #: Bumped on every cache invalidation; cache keys are scoped to the
+        #: (type_id, version) pair, so stale compilations can never leak
+        #: across a derivation such as ``resized`` or ``dup``.
+        self.version = 0
+        # Per-instance LRU caches: count -> SegmentList, and
+        # (count, lo, hi) -> SegmentList for the chunked pipeline path.
+        self._seg_cache: "OrderedDict[int, SegmentList]" = OrderedDict()
+        self._slice_cache: "OrderedDict[Tuple[int, int, int], SegmentList]" = (
+            OrderedDict()
+        )
 
     # -- primitives --------------------------------------------------------------
     @classmethod
@@ -248,8 +328,25 @@ class Datatype:
         """``MPI_Type_create_hvector``: stride counted in bytes."""
         if count < 0 or blocklength < 0:
             raise DatatypeError("count and blocklength must be non-negative")
-        block = base.segments.tiled(blocklength, base.extent)
-        segs = block.tiled(count, stride_bytes).coalesced()
+        block = base.segments.tiled(blocklength, base.extent).coalesced()
+        if block.count == 1 and count > 0:
+            # Single-run block (every contiguous base): the tiling is
+            # analytically coalesced -- runs join exactly when the stride
+            # equals the run length -- so skip the O(count) adjacency scan.
+            off0 = int(block.offsets[0])
+            run = int(block.lengths[0])
+            if stride_bytes == run:
+                segs = SegmentList(
+                    np.array([off0], np.int64),
+                    np.array([count * run], np.int64),
+                )
+            else:
+                segs = SegmentList(
+                    off0 + np.arange(count, dtype=np.int64) * stride_bytes,
+                    np.full(count, run, dtype=np.int64),
+                )
+        else:
+            segs = block.tiled(count, stride_bytes).coalesced()
         size = base.size * blocklength * count
         lo, hi = segs.span()
         if count == 0 or blocklength == 0:
@@ -322,6 +419,9 @@ class Datatype:
         )
         if base.committed:
             out._committed = True
+        # The duplicate shares the base's typemap but must compile its own
+        # tilings under its own (type_id, version) scope.
+        out.invalidate_segment_cache()
         return out
 
     @classmethod
@@ -547,6 +647,10 @@ class Datatype:
             f"resized({base.name})", base.size, lb, extent, base.segments,
             base_np=base.base_np,
         )
+        # A resized type tiles with a *different* extent: any compilation
+        # keyed under the base's scope would be wrong here, so the new
+        # instance starts from an explicitly invalidated (empty) cache.
+        out.invalidate_segment_cache()
         return out
 
     # -- commit & queries -------------------------------------------------------------
@@ -579,12 +683,74 @@ class Datatype:
         )
 
     def segments_for_count(self, count: int) -> SegmentList:
-        """Flattened segments of ``count`` consecutive elements of this type."""
+        """Flattened segments of ``count`` consecutive elements of this type.
+
+        Compilations are cached in a per-instance LRU keyed on ``count``
+        (scoped to :attr:`version`); repeated packs/unpacks -- and every
+        chunk of a pipelined transfer -- reuse the same SegmentList and
+        therefore all of its memoized analysis (span, uniformity, gather
+        indices). Wall-clock only: the returned segments are bit-identical
+        to a fresh compilation.
+        """
         if count < 0:
             raise DatatypeError("count must be non-negative")
         if count == 1:
             return self._segments
-        return self._segments.tiled(count, self.extent).coalesced()
+        cache = self._seg_cache
+        segs = cache.get(count)
+        if segs is not None:
+            cache.move_to_end(count)
+            PERF.bump("seg_cache_hit")
+            return segs
+        PERF.bump("seg_cache_miss")
+        segs = self._segments.tiled(count, self.extent).coalesced()
+        cache[count] = segs
+        if len(cache) > self.SEG_CACHE_CAP:
+            cache.popitem(last=False)
+        return segs
+
+    def segments_for_range(self, count: int, lo: int, hi: int) -> SegmentList:
+        """Segments of packed-byte range ``[lo, hi)`` of ``count`` elements.
+
+        The chunking primitive behind the 5-stage pipeline, with its own
+        ``(count, lo, hi)``-keyed LRU so each chunk's slice is compiled
+        once per datatype rather than once per pack *and* per unpack *and*
+        per cost query. Full-range slices short-circuit to the cached
+        full compilation.
+        """
+        full = self.segments_for_count(count)
+        if lo == 0 and hi == full.total_bytes:
+            return full
+        key = (count, lo, hi)
+        cache = self._slice_cache
+        segs = cache.get(key)
+        if segs is not None:
+            cache.move_to_end(key)
+            PERF.bump("slice_cache_hit")
+            return segs
+        PERF.bump("slice_cache_miss")
+        segs = full.slice_bytes(lo, hi)
+        cache[key] = segs
+        if len(cache) > self.SLICE_CACHE_CAP:
+            cache.popitem(last=False)
+        return segs
+
+    def invalidate_segment_cache(self) -> None:
+        """Drop every cached compilation and bump :attr:`version`.
+
+        Called automatically when a type is *derived from* (``resized`` /
+        ``dup``): the derived instance starts with an empty cache and the
+        base's version bump guarantees no key computed under the old
+        derivation graph is ever trusted again.
+        """
+        self._seg_cache.clear()
+        self._slice_cache.clear()
+        self.version += 1
+        PERF.bump("cache_invalidation")
+
+    def cache_stats(self) -> Tuple[int, int]:
+        """``(cached_counts, cached_slices)`` currently held by this type."""
+        return (len(self._seg_cache), len(self._slice_cache))
 
     def uniform_for_count(self, count: int) -> Optional[Tuple[int, int, int]]:
         """Uniform (width, height, pitch) for ``count`` elements, or None."""

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..hw.config import HardwareConfig
 from ..hw.memory import BufferPtr
+from ..perf.stats import PERF
 from .datatype import Datatype, DatatypeError, SegmentList
 
 __all__ = [
@@ -47,15 +48,20 @@ def check_buffer_bounds(buf: BufferPtr, dtype: Datatype, count: int) -> None:
 
 
 def _gather(buf: BufferPtr, segs: SegmentList) -> np.ndarray:
-    """Gather the segments of ``buf`` into a fresh contiguous byte array."""
-    raw = buf.view()
+    """Gather the segments of ``buf`` into a fresh contiguous byte array.
+
+    Uniform layouts use a single strided 2-D view copy; everything else is
+    one fancy-indexing gather over the (memoized) flat index array.
+    """
     uniform = segs.uniform()
     if uniform is not None:
+        PERF.bump("gather_2d")
         width, height, pitch = uniform
         base = int(segs.offsets[0]) if segs.count else 0
         view = buf.arena.strided_view(buf.offset + base, pitch, width, height)
         return view.reshape(-1).copy()
-    return raw[segs.gather_indices()]
+    PERF.bump("gather_vec")
+    return buf.view()[segs.gather_indices()]
 
 
 def _scatter(buf: BufferPtr, segs: SegmentList, data: np.ndarray) -> None:
@@ -67,11 +73,13 @@ def _scatter(buf: BufferPtr, segs: SegmentList, data: np.ndarray) -> None:
         )
     uniform = segs.uniform()
     if uniform is not None:
+        PERF.bump("scatter_2d")
         width, height, pitch = uniform
         base = int(segs.offsets[0]) if segs.count else 0
         view = buf.arena.strided_view(buf.offset + base, pitch, width, height)
         np.copyto(view, data.reshape(height, width))
         return
+    PERF.bump("scatter_vec")
     buf.view()[segs.gather_indices()] = data
 
 
@@ -115,7 +123,7 @@ def pack_range_bytes(
 ) -> np.ndarray:
     """Pack only packed-byte range ``[lo, hi)`` -- the chunking primitive."""
     check_buffer_bounds(buf, dtype, count)
-    segs = dtype.segments_for_count(count).slice_bytes(lo, hi)
+    segs = dtype.segments_for_range(count, lo, hi)
     return _gather(buf, segs)
 
 
@@ -124,7 +132,7 @@ def unpack_range_from(
 ) -> None:
     """Unpack ``src`` (holding packed bytes [lo, hi)) into its place."""
     check_buffer_bounds(dst, dtype, count)
-    segs = dtype.segments_for_count(count).slice_bytes(lo, hi)
+    segs = dtype.segments_for_range(count, lo, hi)
     _scatter(dst, segs, src.view()[: hi - lo])
 
 
@@ -137,7 +145,7 @@ def unpack_array_into(
     rather than as simulated staging memory.
     """
     check_buffer_bounds(dst, dtype, count)
-    segs = dtype.segments_for_count(count).slice_bytes(lo, lo + data.nbytes)
+    segs = dtype.segments_for_range(count, lo, lo + data.nbytes)
     _scatter(dst, segs, data)
 
 
@@ -162,5 +170,5 @@ def host_pack_range_time(
     segs = dtype.segments_for_count(count)
     if dtype.is_contiguous or segs.count <= 1:
         return (hi - lo) / cfg.host_memcpy_bandwidth
-    part = segs.slice_bytes(lo, hi)
+    part = dtype.segments_for_range(count, lo, hi)
     return cfg.host_pack_time(part.count, part.total_bytes)

@@ -1,0 +1,94 @@
+"""The ``BENCH_hotpath.json`` emitter: machine-readable perf trajectory.
+
+Every benchmark run records its wall-clock per experiment id here, keyed
+``"<experiment>:<scale>"``. The ``before`` number is pinned the first time
+an entry is written (the pre-optimization baseline of the PR that created
+it) and is never overwritten; ``after`` tracks the most recent run, so
+``before / after`` is the cumulative speedup relative to that baseline.
+
+The file also records a reference ``pack_throughput`` figure that the
+``perf``-marked pytest guards against regressions (>30% below the
+recorded number fails).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional
+
+__all__ = [
+    "hotpath_file",
+    "load",
+    "record_wallclock",
+    "record_pack_throughput",
+]
+
+_DEFAULT_NAME = "BENCH_hotpath.json"
+
+
+def hotpath_file() -> Path:
+    """Resolve the JSON path: ``$REPRO_BENCH_HOTPATH`` or repo root."""
+    env = os.environ.get("REPRO_BENCH_HOTPATH")
+    if env:
+        return Path(env)
+    # Repo root = three levels above src/repro/perf/.
+    root = Path(__file__).resolve().parents[3]
+    candidate = root / _DEFAULT_NAME
+    if candidate.parent.is_dir():
+        return candidate
+    return Path.cwd() / _DEFAULT_NAME
+
+
+def load(path: Optional[Path] = None) -> dict:
+    path = path or hotpath_file()
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return {"schema": 1, "experiments": {}}
+
+
+def _save(data: dict, path: Optional[Path] = None) -> None:
+    path = path or hotpath_file()
+    try:
+        with open(path, "w") as fh:
+            json.dump(data, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+    except OSError:
+        # Benchmarking from a read-only checkout must not crash the run.
+        pass
+
+
+def record_wallclock(
+    name: str,
+    scale: str,
+    elapsed: float,
+    path: Optional[Path] = None,
+) -> dict:
+    """Record one experiment's wall-clock; returns the updated entry."""
+    data = load(path)
+    experiments: Dict[str, dict] = data.setdefault("experiments", {})
+    key = f"{name}:{scale}"
+    entry = experiments.setdefault(key, {})
+    entry.setdefault("before", round(elapsed, 4))
+    entry["after"] = round(elapsed, 4)
+    if entry["after"] > 0:
+        entry["speedup"] = round(entry["before"] / entry["after"], 2)
+    _save(data, path)
+    return entry
+
+
+def record_pack_throughput(
+    bytes_per_second: float,
+    workload: str,
+    path: Optional[Path] = None,
+) -> None:
+    """Record the reference pack throughput the perf pytest guards."""
+    data = load(path)
+    data["pack_throughput"] = {
+        "bytes_per_second": round(bytes_per_second, 1),
+        "workload": workload,
+    }
+    _save(data, path)

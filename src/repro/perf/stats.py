@@ -1,0 +1,86 @@
+"""Process-wide counters for the simulator's wall-clock hot paths.
+
+The segment-compilation cache (:mod:`repro.mpi.datatype`), the vectorized
+gather/scatter paths (:mod:`repro.mpi.pack`) and the device staging pool
+(:mod:`repro.core.staging`) all report here. The counters measure *how the
+simulator runs*, never *what it simulates* -- resetting or disabling them
+cannot change any simulated-time result.
+
+Counter names
+-------------
+``seg_cache_hit`` / ``seg_cache_miss``
+    Lookups of the per-datatype ``(count)``-keyed segment cache.
+``slice_cache_hit`` / ``slice_cache_miss``
+    Lookups of the per-datatype ``(count, lo, hi)``-keyed chunk cache
+    (the pipelined pack/unpack path).
+``cache_invalidation``
+    Explicit cache invalidations (``resized``/``dup`` derivation or a
+    direct :meth:`Datatype.invalidate_segment_cache` call).
+``index_build`` / ``index_reuse``
+    Gather-index arrays computed from scratch vs. served memoized.
+``gather_2d`` / ``scatter_2d``
+    Pack/unpack served by the uniform 2-D strided-view fast path.
+``gather_vec`` / ``scatter_vec``
+    Pack/unpack served by one NumPy fancy-indexing operation.
+``tbuf_acquire``
+    Device staging chunks handed out by :class:`repro.core.staging.TbufPool`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+__all__ = ["PerfStats", "PERF"]
+
+
+class PerfStats:
+    """A bag of named monotonic counters with a one-line report."""
+
+    __slots__ = ("counters",)
+
+    def __init__(self) -> None:
+        self.counters: Counter = Counter()
+
+    def bump(self, name: str, n: int = 1) -> None:
+        self.counters[name] += n
+
+    def reset(self) -> None:
+        self.counters.clear()
+
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict copy (picklable; used by the parallel harness)."""
+        return dict(self.counters)
+
+    def merge(self, other: Dict[str, int]) -> None:
+        """Fold a snapshot (e.g. from a worker process) into this one."""
+        self.counters.update(other)
+
+    # -- derived figures ----------------------------------------------------
+    def hit_rate(self, kind: str) -> float:
+        """Hit rate in [0, 1] for ``kind`` in {"seg", "slice"} (0 if unused)."""
+        hits = self.counters[f"{kind}_cache_hit"]
+        misses = self.counters[f"{kind}_cache_miss"]
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def footer(self) -> str:
+        """The one-line perf-stats footer printed by the bench CLI."""
+        c = self.counters
+        seg = c["seg_cache_hit"] + c["seg_cache_miss"]
+        sli = c["slice_cache_hit"] + c["slice_cache_miss"]
+        parts = [
+            f"seg-cache {100 * self.hit_rate('seg'):.0f}% hit "
+            f"({c['seg_cache_hit']}/{seg})",
+            f"slice-cache {100 * self.hit_rate('slice'):.0f}% hit "
+            f"({c['slice_cache_hit']}/{sli})",
+            f"pack {c['gather_2d'] + c['scatter_2d']} 2d / "
+            f"{c['gather_vec'] + c['scatter_vec']} vec",
+            f"idx {c['index_reuse']} reused / {c['index_build']} built",
+            f"{c['cache_invalidation']} invalidations",
+        ]
+        return "[perf: " + ", ".join(parts) + "]"
+
+
+#: The process-wide instance every hot path reports to.
+PERF = PerfStats()

@@ -5,7 +5,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Iterable, List, Optional, Tuple
 
-from .events import AllOf, AnyOf, Event, SimulationError, Timeout
+from .events import PROCESSED, TRIGGERED, AllOf, AnyOf, Event, SimulationError, Timeout
 from .process import Process, ProcessGenerator
 
 __all__ = ["Environment", "EmptySchedule"]
@@ -65,16 +65,30 @@ class Environment:
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule {event!r} in the past")
-        event._mark_triggered()
+        # Equivalent to event._mark_triggered(), inlined: _schedule runs
+        # once per event and the method call shows up in profiles.
+        event._state = TRIGGERED
         self._eid += 1
         heapq.heappush(self._queue, (self._now + delay, self._eid, event))
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` when idle."""
+        """Time of the next scheduled event, or ``inf`` when idle.
+
+        After ``run(until=time)`` stops *between* events, the queue keeps
+        every not-yet-processed entry: ``peek()`` reports the first event
+        beyond the stop time (always ``>= now``), and a subsequent
+        :meth:`run` / :meth:`step` resumes exactly there. Stopping the
+        clock never drops or reorders scheduled work.
+        """
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event."""
+        """Process exactly one event (the resumption primitive).
+
+        Consistent with :meth:`peek`: advances the clock to the head
+        entry's time -- which may be an event left over from a previous
+        ``run(until=time)`` call -- and processes it.
+        """
         try:
             when, _, event = heapq.heappop(self._queue)
         except IndexError:
@@ -90,6 +104,12 @@ class Environment:
         ``until`` may be ``None`` (run until the queue is empty), a number
         (run until that simulated time), or an :class:`Event` (run until the
         event is processed and return its value).
+
+        Stopping at a time between events leaves the remaining queue
+        intact (see :meth:`peek`); calling ``run`` again picks up the
+        leftover entries. The inner loop is the simulator's hottest
+        wall-clock path, so it binds the queue and ``heappop`` locally and
+        inlines :meth:`step`'s body -- semantics are identical.
         """
         stop_event: Optional[Event] = None
         stop_time = float("inf")
@@ -106,20 +126,24 @@ class Environment:
                     f"until ({stop_time}) must not be before now ({self._now})"
                 )
 
+        queue = self._queue
+        pop = heapq.heappop
         while True:
-            if stop_event is not None and stop_event.processed:
-                if not stop_event.ok:
+            if stop_event is not None and stop_event._state is PROCESSED:
+                if not stop_event._ok:
                     stop_event.defuse()
-                    raise stop_event.value
-                return stop_event.value
-            if not self._queue:
+                    raise stop_event._value
+                return stop_event._value
+            if not queue:
                 if stop_event is not None:
                     raise SimulationError(
                         f"run(until={stop_event!r}) exhausted the schedule before "
                         "the event triggered (deadlock?)"
                     )
                 return None
-            if self.peek() > stop_time:
+            if queue[0][0] > stop_time:
                 self._now = stop_time
                 return None
-            self.step()
+            when, _, event = pop(queue)
+            self._now = when
+            event._process()

@@ -246,7 +246,9 @@ class Condition(Event):
         return {e: e._value for e in self._events if e.processed and e._ok}
 
     def _check(self, event: "Event") -> None:
-        if self.triggered:
+        # Hot path: one call per child of every AllOf/AnyOf. The `is not
+        # PENDING` test is `self.triggered` without the property overhead.
+        if self._state is not PENDING:
             if not event._ok:
                 # A sibling failed after we already fired; swallow it so the
                 # run is not aborted for an outcome nobody can observe.

@@ -31,7 +31,7 @@ class Request(Event):
     __slots__ = ("resource",)
 
     def __init__(self, resource: "Resource"):
-        super().__init__(resource.env, label=f"request:{resource.name}")
+        super().__init__(resource.env, label=resource._req_label)
         self.resource = resource
 
     def __enter__(self) -> "Request":
@@ -54,6 +54,9 @@ class Resource:
         self.env = env
         self.capacity = capacity
         self.name = name
+        # Precomputed once: requests are created on the hot path and an
+        # f-string label per request shows up in profiles.
+        self._req_label = f"request:{name}"
         self._users: list[Request] = []
         self._waiting: Deque[Request] = deque()
 
@@ -105,7 +108,7 @@ class StorePut(Event):
     __slots__ = ("item",)
 
     def __init__(self, store: "Store", item: Any):
-        super().__init__(store.env, label=f"put:{store.name}")
+        super().__init__(store.env, label=store._put_label)
         self.item = item
 
 
@@ -113,7 +116,7 @@ class StoreGet(Event):
     __slots__ = ("filter",)
 
     def __init__(self, store: "Store", filt: Optional[Callable[[Any], bool]]):
-        super().__init__(store.env, label=f"get:{store.name}")
+        super().__init__(store.env, label=store._get_label)
         self.filter = filt
 
 
@@ -131,6 +134,8 @@ class Store:
         self.env = env
         self.capacity = capacity
         self.name = name
+        self._put_label = f"put:{name}"
+        self._get_label = f"get:{name}"
         self.items: list[Any] = []
         self._putters: Deque[StorePut] = deque()
         self._getters: Deque[StoreGet] = deque()
@@ -155,27 +160,32 @@ class Store:
         return tuple(self.items)
 
     def _dispatch(self) -> None:
-        progress = True
-        while progress:
+        # Allocation-free rendezvous loop (this runs once per put/get, the
+        # hottest non-numpy path in the simulator). Unsatisfied getters are
+        # rotated back onto the same deque in their original relative
+        # order, which matches the semantics of rebuilding the queue.
+        items = self.items
+        getters = self._getters
+        putters = self._putters
+        while True:
             progress = False
             # Move queued puts into the store while capacity allows.
-            while self._putters and len(self.items) < self.capacity:
-                put = self._putters.popleft()
-                self.items.append(put.item)
+            while putters and len(items) < self.capacity:
+                put = putters.popleft()
+                items.append(put.item)
                 put.succeed()
                 progress = True
-            # Satisfy getters.
-            remaining: Deque[StoreGet] = deque()
-            while self._getters:
-                get = self._getters.popleft()
+            # Satisfy getters (FIFO, skipping non-matching filters).
+            for _ in range(len(getters)):
+                get = getters.popleft()
                 idx = self._find(get.filter)
                 if idx is None:
-                    remaining.append(get)
+                    getters.append(get)
                 else:
-                    item = self.items.pop(idx)
-                    get.succeed(item)
+                    get.succeed(items.pop(idx))
                     progress = True
-            self._getters = remaining
+            if not progress:
+                return
 
     def _find(self, filt: Optional[Callable[[Any], bool]]) -> Optional[int]:
         if filt is None:

@@ -1,0 +1,35 @@
+"""The parallel benchmark harness: same results, submission order kept."""
+
+import pytest
+
+from repro.bench.parallel import _seed_for, run_many, run_one
+
+
+def test_run_one_returns_text_and_perf_snapshot():
+    res = run_one("fig3", "quick")
+    assert res.name == "fig3"
+    assert res.scale == "quick"
+    assert "pipeline" in res.text
+    assert res.elapsed > 0
+    assert isinstance(res.perf, dict)
+
+
+def test_seed_is_stable_and_distinct():
+    assert _seed_for("fig5", "quick") == _seed_for("fig5", "quick")
+    assert _seed_for("fig5", "quick") != _seed_for("fig5", "full")
+    assert _seed_for("fig5", "quick") != _seed_for("tab2", "quick")
+
+
+def test_jobs_must_be_positive():
+    with pytest.raises(ValueError):
+        run_many(["fig3"], scale="quick", jobs=0, record=False)
+
+
+@pytest.mark.slow
+def test_parallel_matches_serial_and_keeps_order():
+    names = ["fig3", "ablB"]
+    serial = run_many(names, scale="quick", jobs=1, record=False)
+    parallel = run_many(names, scale="quick", jobs=2, record=False)
+    assert [r.name for r in parallel] == names
+    for s, p in zip(serial, parallel):
+        assert s.text == p.text  # simulated results identical across workers

@@ -1,0 +1,201 @@
+"""The segment-compilation cache: bit-identical to fresh compilation.
+
+Property tests build random datatypes through the full constructor
+algebra (including ``resized``/``dup`` derivation and nested
+``hvector(struct(...))``) and assert that cached compilations -- segments,
+slices and gather-index arrays -- are exactly what an uncached compile
+produces. Plus explicit LRU, invalidation and counter tests.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import BYTE, Datatype
+from repro.perf.stats import PERF
+
+
+def fresh_segments(dt, count):
+    """The pre-cache ground-truth formula for ``segments_for_count``."""
+    if count == 1:
+        return dt.segments
+    return dt.segments.tiled(count, dt.extent).coalesced()
+
+
+def assert_seglists_equal(a, b):
+    assert np.array_equal(a.offsets, b.offsets)
+    assert np.array_equal(a.lengths, b.lengths)
+
+
+@st.composite
+def datatypes(draw, depth=2):
+    """A random datatype through the constructor algebra."""
+    prims = [BYTE, Datatype.named(np.int16), Datatype.named(np.float32)]
+    if depth == 0:
+        return draw(st.sampled_from(prims))
+    base = draw(datatypes(depth=depth - 1))
+    kind = draw(st.sampled_from(
+        ["prim", "contig", "vector", "hvector", "indexed", "struct",
+         "resized", "dup"]
+    ))
+    if kind == "prim":
+        return draw(st.sampled_from(prims))
+    if kind == "contig":
+        return Datatype.contiguous(draw(st.integers(1, 4)), base)
+    if kind == "vector":
+        return Datatype.vector(
+            draw(st.integers(1, 4)), draw(st.integers(1, 3)),
+            draw(st.integers(1, 5)), base,
+        )
+    if kind == "hvector":
+        return Datatype.hvector(
+            draw(st.integers(1, 4)), draw(st.integers(1, 3)),
+            draw(st.integers(0, 48)), base,
+        )
+    if kind == "indexed":
+        n = draw(st.integers(1, 3))
+        blocklengths = draw(
+            st.lists(st.integers(0, 3), min_size=n, max_size=n)
+        )
+        displacements = draw(
+            st.lists(st.integers(0, 6), min_size=n, max_size=n)
+        )
+        return Datatype.indexed(blocklengths, displacements, base)
+    if kind == "struct":
+        other = draw(st.sampled_from(prims))
+        return Datatype.struct(
+            [draw(st.integers(1, 2)), draw(st.integers(1, 2))],
+            [0, draw(st.integers(8, 64))],
+            [base, other],
+        )
+    if kind == "resized":
+        lo, hi = base.segments.span()
+        extent = draw(st.integers(max(hi, 1), max(hi, 1) + 32))
+        return Datatype.resized(base, 0, extent)
+    return Datatype.dup(base)
+
+
+@given(dt=datatypes(), count=st.integers(0, 6))
+@settings(max_examples=60, deadline=None)
+def test_cached_segments_bit_identical(dt, count):
+    want = fresh_segments(dt, count)
+    got_miss = dt.segments_for_count(count)  # compiles (or count==1 path)
+    got_hit = dt.segments_for_count(count)   # served from cache
+    assert got_hit is got_miss or count == 1
+    assert_seglists_equal(got_miss, want)
+    assert_seglists_equal(got_hit, want)
+    # Memoized gather indices match a from-scratch expansion.
+    fresh_idx = fresh_segments(dt, count).gather_indices()
+    assert np.array_equal(got_hit.gather_indices(), fresh_idx)
+    # Memoized span/uniform/total match the fresh compilation's.
+    assert got_hit.span() == want.span()
+    assert got_hit.total_bytes == want.total_bytes
+    assert got_hit.uniform() == fresh_segments(dt, count).uniform()
+
+
+@given(dt=datatypes(), count=st.integers(1, 4), cuts=st.integers(0, 3))
+@settings(max_examples=60, deadline=None)
+def test_cached_slices_bit_identical(dt, count, cuts):
+    full = dt.segments_for_count(count)
+    total = full.total_bytes
+    lo = min(cuts, total)
+    hi = max(lo, total - cuts)
+    want = fresh_segments(dt, count).slice_bytes(lo, hi)
+    got = dt.segments_for_range(count, lo, hi)
+    again = dt.segments_for_range(count, lo, hi)
+    assert_seglists_equal(got, want)
+    assert_seglists_equal(again, want)
+    assert np.array_equal(got.gather_indices(), want.gather_indices())
+
+
+@pytest.mark.slow
+@given(dt=datatypes(depth=3), count=st.integers(0, 8))
+@settings(max_examples=150, deadline=None)
+def test_cached_segments_bit_identical_deep(dt, count):
+    want = fresh_segments(dt, count)
+    got = dt.segments_for_count(count)
+    assert_seglists_equal(dt.segments_for_count(count), want)
+    assert np.array_equal(got.gather_indices(), want.gather_indices())
+
+
+def test_nested_hvector_of_struct_cached():
+    inner = Datatype.struct([1, 2], [0, 8], [BYTE, Datatype.named(np.int16)])
+    outer = Datatype.hvector(3, 2, 32, inner)
+    for count in (1, 2, 5):
+        assert_seglists_equal(
+            outer.segments_for_count(count), fresh_segments(outer, count)
+        )
+
+
+def test_full_range_slice_shares_the_cached_compilation():
+    vec = Datatype.hvector(8, 4, 8, BYTE)
+    full = vec.segments_for_count(3)
+    assert vec.segments_for_range(3, 0, full.total_bytes) is full
+
+
+def test_resized_does_not_reuse_base_tilings():
+    vec = Datatype.hvector(4, 2, 4, BYTE)
+    base_tiled = vec.segments_for_count(3)
+    r = Datatype.resized(vec, 0, vec.extent * 2)
+    r_tiled = r.segments_for_count(3)
+    # Same typemap per element, different tiling stride.
+    assert_seglists_equal(r.segments_for_count(1), vec.segments_for_count(1))
+    assert not np.array_equal(r_tiled.offsets, base_tiled.offsets)
+    assert_seglists_equal(r_tiled, fresh_segments(r, 3))
+
+
+def test_dup_compiles_under_its_own_cache():
+    vec = Datatype.hvector(4, 2, 8, BYTE).commit()
+    vec.segments_for_count(2)
+    d = Datatype.dup(vec)
+    assert d.cache_stats() == (0, 0)
+    assert_seglists_equal(d.segments_for_count(2), fresh_segments(d, 2))
+    assert d.committed
+
+
+def test_invalidation_clears_caches_and_bumps_version():
+    vec = Datatype.hvector(4, 2, 8, BYTE)
+    vec.segments_for_count(2)
+    vec.segments_for_range(2, 1, 3)
+    assert vec.cache_stats() == (1, 1)
+    v0 = vec.version
+    before = PERF.counters["cache_invalidation"]
+    vec.invalidate_segment_cache()
+    assert vec.cache_stats() == (0, 0)
+    assert vec.version == v0 + 1
+    assert PERF.counters["cache_invalidation"] == before + 1
+    # Recompilation after invalidation is still bit-identical.
+    assert_seglists_equal(vec.segments_for_count(2), fresh_segments(vec, 2))
+
+
+def test_derivation_constructors_invalidate():
+    before = PERF.counters["cache_invalidation"]
+    vec = Datatype.hvector(4, 2, 8, BYTE)
+    Datatype.resized(vec, 0, 64)
+    Datatype.dup(vec)
+    assert PERF.counters["cache_invalidation"] == before + 2
+
+
+def test_lru_eviction_bounds_cache_size():
+    vec = Datatype.hvector(4, 2, 8, BYTE)
+    for count in range(2, Datatype.SEG_CACHE_CAP + 40):
+        vec.segments_for_count(count)
+    counts, _ = vec.cache_stats()
+    assert counts <= Datatype.SEG_CACHE_CAP
+    # Evicted entries recompile to the same thing.
+    assert_seglists_equal(vec.segments_for_count(2), fresh_segments(vec, 2))
+
+
+def test_hit_miss_counters_move():
+    vec = Datatype.hvector(16, 4, 8, BYTE)
+    h0, m0 = PERF.counters["seg_cache_hit"], PERF.counters["seg_cache_miss"]
+    vec.segments_for_count(5)
+    vec.segments_for_count(5)
+    assert PERF.counters["seg_cache_miss"] == m0 + 1
+    assert PERF.counters["seg_cache_hit"] == h0 + 1
+    s0, sm0 = PERF.counters["slice_cache_hit"], PERF.counters["slice_cache_miss"]
+    vec.segments_for_range(5, 2, 9)
+    vec.segments_for_range(5, 2, 9)
+    assert PERF.counters["slice_cache_miss"] == sm0 + 1
+    assert PERF.counters["slice_cache_hit"] == s0 + 1

@@ -1,0 +1,50 @@
+"""Perf guard: pack throughput must stay within 30% of the recorded number.
+
+The reference lives in ``BENCH_hotpath.json`` (``pack_throughput``),
+written by the benchmark harness on the machine that recorded it. The
+measurement below replays exactly that workload: a chunked pack of a
+strided byte vector through the cached segment-compilation path.
+"""
+
+import time
+
+import pytest
+
+from repro.hw.memory import Arena
+from repro.mpi import BYTE, Datatype
+from repro.mpi.pack import pack_range_bytes
+from repro.perf.hotpath import load
+
+pytestmark = pytest.mark.perf
+
+ROWS, WIDTH, PITCH = 1 << 16, 4, 8
+CHUNK = 64 * 1024
+
+
+def measure_pack_throughput(repeats: int = 5) -> float:
+    """Best-of-N bytes/second for the reference chunked-pack workload."""
+    vec = Datatype.hvector(ROWS, WIDTH, PITCH, BYTE).commit()
+    arena = Arena(ROWS * PITCH, "host", "perf-test")
+    buf = arena.alloc(ROWS * PITCH)
+    total = vec.size
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for lo in range(0, total, CHUNK):
+            pack_range_bytes(buf, vec, 1, lo, min(lo + CHUNK, total))
+        elapsed = time.perf_counter() - start
+        best = max(best, total / elapsed)
+    return best
+
+
+def test_pack_throughput_within_30_percent_of_recorded():
+    ref = load().get("pack_throughput")
+    if not ref or "bytes_per_second" not in ref:
+        pytest.skip("no pack_throughput recorded in BENCH_hotpath.json")
+    measured = measure_pack_throughput()
+    floor = 0.7 * ref["bytes_per_second"]
+    assert measured >= floor, (
+        f"pack throughput regressed >30%: {measured / 1e6:.1f} MB/s vs "
+        f"recorded {ref['bytes_per_second'] / 1e6:.1f} MB/s "
+        f"({ref.get('workload', '?')})"
+    )

@@ -1,0 +1,85 @@
+"""Regression tests: ``run(until=time)`` stopping *between* events.
+
+The leftover queue entries must survive -- ``peek()``/``step()`` stay
+consistent with the stopped clock and a subsequent ``run()`` resumes
+exactly where the previous call left off.
+"""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.core import EmptySchedule
+
+
+def _two_step_process(env, fired):
+    def proc():
+        yield env.timeout(1.0)
+        fired.append(env.now)
+        yield env.timeout(1.0)
+        fired.append(env.now)
+
+    return env.process(proc())
+
+
+def test_leftover_queue_survives_resumed_run():
+    env = Environment()
+    fired = []
+    _two_step_process(env, fired)
+    env.run(until=1.5)
+    assert env.now == 1.5
+    assert fired == [1.0]
+    # The event at t=2.0 is still queued, visible, and in the future.
+    assert env.peek() == 2.0
+    env.run()
+    assert fired == [1.0, 2.0]
+    assert env.now == 2.0
+    assert env.peek() == float("inf")
+
+
+def test_stop_exactly_at_event_time_processes_it():
+    env = Environment()
+    fired = []
+    _two_step_process(env, fired)
+    env.run(until=1.0)
+    assert env.now == 1.0
+    assert fired == [1.0]
+    assert env.peek() == 2.0
+
+
+def test_step_resumes_after_timed_stop():
+    env = Environment()
+    fired = []
+    _two_step_process(env, fired)
+    env.run(until=1.5)
+    # step() jumps the clock to the leftover entry and processes it.
+    env.step()
+    assert env.now == 2.0
+    assert fired == [1.0, 2.0]
+
+
+def test_repeated_timed_runs_chain():
+    env = Environment()
+    fired = []
+    _two_step_process(env, fired)
+    for stop in (0.25, 0.5, 1.25, 1.75):
+        env.run(until=stop)
+        assert env.now == stop
+    # Queue drains before the stop time: the clock rests at the last event.
+    env.run(until=3.0)
+    assert env.now == 2.0
+    assert fired == [1.0, 2.0]
+
+
+def test_step_on_empty_queue_raises():
+    env = Environment()
+    env.run()
+    with pytest.raises(EmptySchedule):
+        env.step()
+
+
+def test_run_until_past_raises():
+    env = Environment()
+    _two_step_process(env, [])
+    env.run(until=1.5)
+    with pytest.raises(ValueError):
+        env.run(until=1.0)
