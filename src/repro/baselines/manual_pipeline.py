@@ -20,6 +20,7 @@ import numpy as np
 
 from ..hw import HardwareConfig
 from ..mpi import BYTE, Datatype, run_world, wait_all
+from ..mpi.pack import strided_rows_equal
 from ..sim import AllOf
 
 __all__ = ["manual_pipeline_latency", "make_manual_pipeline_program"]
@@ -44,6 +45,12 @@ def make_manual_pipeline_program(
         r0 = i * rows_per_chunk
         return r0, min(rows_per_chunk, rows - r0)
 
+    # One pattern per program, shared by both ranks' closures.
+    pattern = (
+        np.random.default_rng(13).integers(0, 256, span, np.uint8)
+        if verify else None
+    )
+
     def program(ctx):
         cuda = ctx.cuda
         dbuf = cuda.malloc(span)
@@ -54,7 +61,6 @@ def make_manual_pipeline_program(
         copy_stream = cuda.stream("app.copy")
         other = 1 - ctx.rank
         if verify and ctx.rank == 0:
-            pattern = np.random.default_rng(13).integers(0, 256, span, np.uint8)
             dbuf.fill_from(pattern)
         times = []
         for it in range(iterations):
@@ -99,11 +105,8 @@ def make_manual_pipeline_program(
                                          tag=999_000 + it)
             times.append(ctx.now - t0)
         if verify and ctx.rank == 1:
-            want = np.random.default_rng(13).integers(0, 256, span, np.uint8)
-            got = dbuf.to_array(np.uint8).reshape(rows, pitch)[:, :elem_bytes]
-            assert np.array_equal(
-                got, want.reshape(rows, pitch)[:, :elem_bytes]
-            ), "manual pipeline corrupted the data"
+            assert strided_rows_equal(dbuf, pattern, elem_bytes, pitch, rows), \
+                "manual pipeline corrupted the data"
         return times
 
     return program

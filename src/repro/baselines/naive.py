@@ -15,6 +15,7 @@ import numpy as np
 
 from ..hw import HardwareConfig
 from ..mpi import BYTE, Datatype, run_world
+from ..mpi.pack import strided_rows_equal
 
 __all__ = ["naive_vector_latency", "make_naive_program"]
 
@@ -32,6 +33,12 @@ def make_naive_program(rows: int, elem_bytes: int = 4, stride_factor: int = 2,
     pitch = elem_bytes * stride_factor
     span = rows * pitch
     vec = Datatype.hvector(rows, elem_bytes, pitch, BYTE).commit()
+    # One pattern per program, shared by both ranks' closures (the receiver
+    # used to regenerate the same seeded stream just to check it).
+    pattern = (
+        np.random.default_rng(7).integers(0, 256, span, dtype=np.uint8)
+        if verify else None
+    )
 
     def program(ctx):
         dbuf = ctx.cuda.malloc(span)
@@ -39,9 +46,7 @@ def make_naive_program(rows: int, elem_bytes: int = 4, stride_factor: int = 2,
         hbuf = ctx.node.malloc_host(span)
         ack = ctx.node.malloc_host(1)
         other = 1 - ctx.rank
-        pattern = None
         if verify and ctx.rank == 0:
-            pattern = np.random.default_rng(7).integers(0, 256, span, dtype=np.uint8)
             dbuf.fill_from(pattern)
         times = []
         for it in range(iterations):
@@ -58,10 +63,8 @@ def make_naive_program(rows: int, elem_bytes: int = 4, stride_factor: int = 2,
                                              elem_bytes, rows)
                 yield from ctx.comm.Send(ack, 1, BYTE, dest=other, tag=1000 + it)
             times.append(ctx.now - t0)
-        if verify and ctx.rank == 1 and pattern is None:
-            want = np.random.default_rng(7).integers(0, 256, span, dtype=np.uint8)
-            got = dbuf.to_array(np.uint8).reshape(rows, pitch)[:, :elem_bytes]
-            assert np.array_equal(got, want.reshape(rows, pitch)[:, :elem_bytes]), \
+        if verify and ctx.rank == 1:
+            assert strided_rows_equal(dbuf, pattern, elem_bytes, pitch, rows), \
                 "naive baseline corrupted the data"
         return times
 

@@ -29,10 +29,37 @@ import numpy as np
 
 from ..cuda import CudaContext
 from ..hw import Cluster, HardwareConfig
+from ..mpi.datatype import Datatype
 
 __all__ = ["PACK_SCHEMES", "measure_pack_scheme", "measure_all_schemes"]
 
 PACK_SCHEMES = ("d2h_nc2nc", "d2h_nc2c", "d2d2h_nc2c2c")
+
+#: Base byte type for the benchmark layouts (module-private; committed).
+_BYTE = Datatype.named(np.uint8, "BYTE")
+
+#: (rows, elem_bytes, pitch) -> committed hvector describing the layout.
+#: Caching the Datatype keeps every measurement of the same shape on the
+#: cached segment path (memoized SegmentList, uniform classification), so
+#: the three schemes -- and repeated sweeps -- share one compilation.
+_LAYOUT_CACHE: Dict[tuple, Datatype] = {}
+
+
+def _strided_layout(rows: int, elem_bytes: int, pitch: int) -> Datatype:
+    key = (rows, elem_bytes, pitch)
+    dt = _LAYOUT_CACHE.get(key)
+    if dt is None:
+        dt = Datatype.hvector(rows, elem_bytes, pitch, _BYTE).commit()
+        _LAYOUT_CACHE[key] = dt
+    return dt
+
+
+def _expected_packed(pattern: np.ndarray, layout: Datatype) -> np.ndarray:
+    """The packed bytes the schemes must produce, via the segment path."""
+    width, height, pitch = layout.segments_for_count(1).uniform()
+    return np.ascontiguousarray(
+        pattern.reshape(height, pitch)[:, :width]
+    ).reshape(-1)
 
 
 def measure_pack_scheme(
@@ -42,12 +69,17 @@ def measure_pack_scheme(
     stride_factor: int = 2,
     cfg: Optional[HardwareConfig] = None,
     verify: bool = True,
+    pattern: Optional[np.ndarray] = None,
+    expected: Optional[np.ndarray] = None,
 ) -> float:
     """Simulated latency (seconds) of packing ``message_bytes`` one way.
 
     The layout matches the paper's microbenchmark: ``message_bytes /
     elem_bytes`` rows of ``elem_bytes``, with stride ``stride_factor *
-    elem_bytes``.
+    elem_bytes``. ``pattern`` (the span-sized source bytes) and
+    ``expected`` (the packed reference) may be supplied by the caller so a
+    sweep over several schemes generates and packs them once; when omitted
+    they are derived here.
     """
     if scheme not in PACK_SCHEMES:
         raise ValueError(f"unknown scheme {scheme!r}; have {PACK_SCHEMES}")
@@ -55,14 +87,19 @@ def measure_pack_scheme(
         raise ValueError("message size must be a multiple of the element size")
     rows = message_bytes // elem_bytes
     pitch = elem_bytes * stride_factor
+    layout = _strided_layout(rows, elem_bytes, pitch)
 
     cluster = Cluster(1, cfg=cfg)
     ctx = CudaContext(cluster.env, cluster.cfg, cluster.nodes[0], tracer=cluster.tracer)
     span = rows * pitch
     dsrc = ctx.malloc(span)
-    pattern = None
     if verify:
-        pattern = np.random.default_rng(rows).integers(0, 256, span, dtype=np.uint8)
+        if pattern is None:
+            pattern = np.random.default_rng(rows).integers(
+                0, 256, span, dtype=np.uint8
+            )
+        if expected is None:
+            expected = _expected_packed(pattern, layout)
         dsrc.fill_from(pattern)
 
     def run():
@@ -88,12 +125,13 @@ def measure_pack_scheme(
             out = hdst
             packed = True
         elapsed = ctx.env.now - t0
-        if verify and pattern is not None:
-            want = pattern.reshape(rows, pitch)[:, :elem_bytes]
+        if verify and expected is not None:
             if packed:
-                got = out.view()[:message_bytes].reshape(rows, elem_bytes)
+                got = out.view()[:message_bytes]
+                want = expected
             else:
                 got = out.view().reshape(rows, pitch)[:, :elem_bytes]
+                want = expected.reshape(rows, elem_bytes)
             if not np.array_equal(got, want):
                 raise AssertionError(f"scheme {scheme} corrupted the data")
         return elapsed
@@ -108,10 +146,27 @@ def measure_all_schemes(
     cfg: Optional[HardwareConfig] = None,
     verify: bool = True,
 ) -> Dict[str, float]:
-    """Latency of every scheme for one message size."""
+    """Latency of every scheme for one message size.
+
+    The random source pattern and the packed reference are produced once
+    per size and shared across the three schemes (they were previously
+    regenerated per scheme, which dominated the sweep's wall clock).
+    """
+    pattern = expected = None
+    if verify:
+        if message_bytes % elem_bytes:
+            raise ValueError("message size must be a multiple of the element size")
+        rows = message_bytes // elem_bytes
+        pitch = elem_bytes * 2  # measure_pack_scheme's default stride_factor
+        layout = _strided_layout(rows, elem_bytes, pitch)
+        pattern = np.random.default_rng(rows).integers(
+            0, 256, rows * pitch, dtype=np.uint8
+        )
+        expected = _expected_packed(pattern, layout)
     return {
         scheme: measure_pack_scheme(
-            scheme, message_bytes, elem_bytes=elem_bytes, cfg=cfg, verify=verify
+            scheme, message_bytes, elem_bytes=elem_bytes, cfg=cfg, verify=verify,
+            pattern=pattern, expected=expected,
         )
         for scheme in PACK_SCHEMES
     }

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..perf.hotpath import record_wallclock
+from ..perf.hotpath import pipeline_file, record_wallclock
 from ..perf.stats import PERF
 
 __all__ = ["RunResult", "run_one", "run_many"]
@@ -93,4 +93,8 @@ def run_many(
         PERF.merge(res.perf)
         if record:
             record_wallclock(res.name, res.scale, res.elapsed)
+            # Mirror into the pipeline before/after ledger so per-PR
+            # wall-clock targets are pinned against their own baseline.
+            record_wallclock(res.name, res.scale, res.elapsed,
+                             path=pipeline_file())
     return results

@@ -16,6 +16,7 @@ from ..baselines import manual_pipeline_latency, naive_vector_latency
 from ..core import GpuNcConfig
 from ..hw import Cluster, HardwareConfig
 from ..mpi import BYTE, Datatype, MpiWorld
+from ..mpi.pack import strided_rows_equal
 
 __all__ = [
     "mv2_gpu_nc_latency",
@@ -33,13 +34,17 @@ def make_nc_program(rows: int, elem_bytes: int = 4, stride_factor: int = 2,
     pitch = elem_bytes * stride_factor
     span = rows * pitch
     vec = Datatype.hvector(rows, elem_bytes, pitch, BYTE).commit()
+    # One pattern per program, shared by both ranks' closures.
+    pattern = (
+        np.random.default_rng(23).integers(0, 256, span, np.uint8)
+        if verify else None
+    )
 
     def program(ctx):
         dbuf = ctx.cuda.malloc(span)
         ack = ctx.node.malloc_host(1)
         other = 1 - ctx.rank
         if verify and ctx.rank == 0:
-            pattern = np.random.default_rng(23).integers(0, 256, span, np.uint8)
             dbuf.fill_from(pattern)
         times = []
         for it in range(iterations):
@@ -52,11 +57,8 @@ def make_nc_program(rows: int, elem_bytes: int = 4, stride_factor: int = 2,
                 yield from ctx.comm.Send(ack, 1, BYTE, dest=other, tag=900 + it)
             times.append(ctx.now - t0)
         if verify and ctx.rank == 1:
-            want = np.random.default_rng(23).integers(0, 256, span, np.uint8)
-            got = dbuf.to_array(np.uint8).reshape(rows, pitch)[:, :elem_bytes]
-            assert np.array_equal(
-                got, want.reshape(rows, pitch)[:, :elem_bytes]
-            ), "MV2-GPU-NC corrupted the data"
+            assert strided_rows_equal(dbuf, pattern, elem_bytes, pitch, rows), \
+                "MV2-GPU-NC corrupted the data"
         return times
 
     return program

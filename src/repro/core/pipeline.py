@@ -105,8 +105,19 @@ class GpuNcEngine:
         return res
 
     def _chunking(self, total: int, granted: Optional[int] = None) -> tuple:
+        """Chunk size and count for a ``total``-byte transfer.
+
+        ``granted`` is the peer-dictated chunk size (the RTS
+        ``chunk_pref``); zero/None mean "no preference" and fall back to
+        the engine's configured block size. Both sides of a transfer must
+        derive the same ``(chunk, nchunks)`` from the same inputs -- the
+        chunk size is part of the transfer-plan cache key, so an
+        inconsistency would compile mismatched plans for one message (and
+        trip the CTS chunk-size check). All chunk geometry used by the
+        engine comes from this one method.
+        """
         chunk = granted if granted else self.config.chunk_bytes
-        nchunks = max(1, math.ceil(total / chunk))
+        nchunks = max(1, math.ceil(total / chunk)) if total else 1
         return chunk, nchunks
 
     # ------------------------------------------------------------------------
@@ -142,6 +153,14 @@ class GpuNcEngine:
         chunk, nchunks = self._chunking(total)
         plan = LayoutPlan.of(dtype, count)
         res = self.resources(endpoint)
+        # Compiled replay path: strided offloaded sends walk a cached
+        # TransferPlan -- precomputed chunk ranges, slices, labels, costs --
+        # and fuse the pack + stage byte movement into one gather into the
+        # vbuf. Identical schedule, half the functional copies.
+        tplan = costs = None
+        if self.config.use_plans and plan.kind == "strided" and self.config.use_gpu_offload:
+            tplan = dtype.plan_for(count, chunk, buf.space, "wire")
+            costs = tplan.costs_for(endpoint.cuda.cfg)
         ssn = endpoint.new_ssn()
         state = _proto.SendState(endpoint=endpoint)
         endpoint.send_states[ssn] = state
@@ -171,6 +190,26 @@ class GpuNcEngine:
                     vbuf.sub(0, n), buf.sub(plan.base_offset + lo, n),
                     stream=res.d2h, label=f"d2h[{i}]",
                 )
+            elif tplan is not None:
+                # Plan replay. The tbuf is still the device-side flow
+                # control token (same acquire/release points, so the
+                # schedule is unchanged), but the gather lands straight in
+                # the vbuf at D2H completion instead of staging through
+                # device memory twice.
+                cp = tplan.chunks[i]
+                tbuf = yield res.tbufs.acquire()
+                yield res.pack.enqueue(
+                    endpoint.cuda.gpu.exec_engine, costs["pack"][i], None,
+                    label=cp.pack_label,
+                )
+                vbuf = yield endpoint.send_vbufs.acquire()
+                yield res.d2h.enqueue(
+                    endpoint.cuda.gpu.engine_for(CopyKind.D2H),
+                    costs["d2h"][i],
+                    lambda cp=cp, vbuf=vbuf: cp.gather_into(buf, vbuf.view()),
+                    label=cp.d2h_label,
+                )
+                res.tbufs.release(tbuf)
             elif self.config.use_gpu_offload:
                 # The paper's design: pack on the GPU, then contiguous D2H.
                 tbuf = yield res.tbufs.acquire()
@@ -256,9 +295,21 @@ class GpuNcEngine:
             )
         res = self.resources(endpoint)
         plan = LayoutPlan.of(req.datatype, req.count)
+        # Compiled replay (mirror of the send side). A posted receive may
+        # be larger than the incoming message; plans describe whole
+        # datatype instances, so partial-size messages keep the ad-hoc
+        # path.
+        rplan = rcosts = None
+        if (
+            self.config.use_plans and plan.kind == "strided"
+            and self.config.use_gpu_offload
+            and total == req.datatype.size * req.count
+        ):
+            rplan = req.datatype.plan_for(req.count, chunk, "wire", req.buf.space)
+            rcosts = rplan.costs_for(endpoint.cuda.cfg)
         state = _proto.make_recv_state(
             endpoint, posted, rts, chunk, staged=True,
-            on_fin=lambda st, ci: self._drain_chunk(st, ci, plan, res),
+            on_fin=lambda st, ci: self._drain_chunk(st, ci, plan, res, rplan, rcosts),
         )
         endpoint.env.process(
             _proto.staged_granter(endpoint, state),
@@ -269,7 +320,9 @@ class GpuNcEngine:
         endpoint.stats.note_recv(total)
         req._complete(state.status)
 
-    def _drain_chunk(self, state, i: int, plan: LayoutPlan, res) -> None:
+    def _drain_chunk(
+        self, state, i: int, plan: LayoutPlan, res, rplan=None, rcosts=None
+    ) -> None:
         """FIN arrived for chunk ``i``: run H2D (+ unpack) and retire it."""
         endpoint = state.endpoint
         req = state.posted.request
@@ -284,6 +337,26 @@ class GpuNcEngine:
                     stream=res.h2d, label=f"h2d[{i}]",
                 )
                 state.release_staging(i)
+            elif rplan is not None:
+                # Plan replay: the scatter into the user buffer is fused
+                # into the H2D completion -- it must run before
+                # release_staging recycles the vbuf. The unpack op then
+                # charges pure device time with no byte movement left to
+                # do.
+                cp = rplan.chunks[i]
+                tbuf = yield res.tbufs.acquire()
+                yield res.h2d.enqueue(
+                    endpoint.cuda.gpu.engine_for(CopyKind.H2D),
+                    rcosts["h2d"][i],
+                    lambda cp=cp, vbuf=vbuf: cp.scatter_from(vbuf.view(), req.buf),
+                    label=cp.h2d_label,
+                )
+                state.release_staging(i)
+                yield res.unpack.enqueue(
+                    endpoint.cuda.gpu.exec_engine, rcosts["pack"][i], None,
+                    label=cp.unpack_label,
+                )
+                res.tbufs.release(tbuf)
             elif self.config.use_gpu_offload:
                 tbuf = yield res.tbufs.acquire()
                 yield endpoint.cuda.memcpy_async(

@@ -1,0 +1,213 @@
+"""Compiled transfer plans: replay data for the 5-stage pipeline.
+
+Every pipelined device transfer walks the same per-chunk structure: byte
+range, segment slice, stage labels and stage durations. Legacy code
+recomputed all of that -- plus a staging-hop copy through the device tbuf --
+for every chunk of every message. A :class:`TransferPlan` compiles the
+structure **once** per ``(datatype version, count, chunk size, src kind,
+dst kind)`` and is cached on the :class:`~repro.mpi.datatype.Datatype`
+itself (see :meth:`~repro.mpi.datatype.Datatype.plan_for`), so a steady
+stream of same-shaped messages replays flat, preresolved chunk records.
+
+Replay preserves the simulated schedule bit-for-bit: the plan carries the
+exact labels and durations the legacy path would have produced, and the
+pipeline still enqueues the same operations on the same engines. Only the
+*functional* byte movement is restructured: the pack-to-tbuf and
+tbuf-to-vbuf (resp. vbuf-to-tbuf and unpack-from-tbuf) hops are fused into
+a single precomputed fancy-index gather into the wire staging buffer (resp.
+one scatter out of it), so each chunk's data moves once instead of twice.
+The tbuf is still acquired and released -- it remains the pipeline's
+device-side flow-control token -- but its bytes are no longer written.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+import numpy as np
+
+from ..hw.config import CopyKind
+from ..hw.memory import wide_rows
+from ..mpi.datatype import SegmentList
+from ..perf.stats import PERF
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hw.config import HardwareConfig
+    from ..hw.memory import BufferPtr
+    from ..mpi.datatype import Datatype
+
+__all__ = ["ChunkPlan", "TransferPlan"]
+
+
+class ChunkPlan:
+    """Precompiled state of one pipeline chunk.
+
+    Labels are stored fully suffixed (``d2h[3]:d2h`` etc.) so replay
+    produces byte-identical trace records to the legacy
+    ``memcpy_async``/``gpu_pack_chunk`` calls it replaces.
+    """
+
+    __slots__ = (
+        "index", "lo", "hi", "nbytes", "segs",
+        "pack_label", "unpack_label", "d2h_label", "h2d_label",
+    )
+
+    def __init__(self, index: int, lo: int, hi: int, segs: SegmentList):
+        self.index = index
+        self.lo = lo
+        self.hi = hi
+        self.nbytes = hi - lo
+        self.segs = segs
+        self.pack_label = f"gpu-pack[{lo}:{hi}]"
+        self.unpack_label = f"gpu-unpack[{lo}:{hi}]"
+        self.d2h_label = f"d2h[{index}]:d2h"
+        self.h2d_label = f"h2d[{index}]:h2d"
+
+    def gather_into(self, src: "BufferPtr", dst_view: np.ndarray) -> None:
+        """Gather this chunk's segments of ``src`` into ``dst_view[:n]``.
+
+        The fused pack+stage movement: one strided 2-D copy (uniform
+        layouts) or one fancy-index gather over the plan's memoized index
+        array, writing straight into the wire staging buffer.
+        """
+        segs = self.segs
+        uniform = segs.uniform()
+        if uniform is not None:
+            PERF.bump("gather_2d")
+            width, height, pitch = uniform
+            base = int(segs.offsets[0]) if segs.count else 0
+            sw = wide_rows(src.arena, src.offset + base, pitch, width, height)
+            if sw is not None:
+                np.copyto(dst_view[: self.nbytes].view(sw.dtype), sw)
+                return
+            view = src.arena.strided_view(src.offset + base, pitch, width, height)
+            np.copyto(dst_view[: self.nbytes].reshape(height, width), view)
+            return
+        PERF.bump("gather_vec")
+        np.take(src.view(), segs.gather_indices(), out=dst_view[: self.nbytes])
+
+    def scatter_from(self, src_view: np.ndarray, dst: "BufferPtr") -> None:
+        """Scatter ``src_view[:n]`` into this chunk's segments of ``dst``.
+
+        The fused stage+unpack movement on the receiver.
+        """
+        segs = self.segs
+        uniform = segs.uniform()
+        if uniform is not None:
+            PERF.bump("scatter_2d")
+            width, height, pitch = uniform
+            base = int(segs.offsets[0]) if segs.count else 0
+            dw = wide_rows(dst.arena, dst.offset + base, pitch, width, height)
+            if dw is not None:
+                np.copyto(dw, src_view[: self.nbytes].view(dw.dtype))
+                return
+            view = dst.arena.strided_view(dst.offset + base, pitch, width, height)
+            np.copyto(view, src_view[: self.nbytes].reshape(height, width))
+            return
+        PERF.bump("scatter_vec")
+        dst.view()[segs.gather_indices()] = src_view[: self.nbytes]
+
+
+class TransferPlan:
+    """The compiled form of one pipelined transfer shape.
+
+    Immutable once compiled; safe to share across every message with the
+    same ``(datatype version, count, chunk_bytes, src kind, dst kind)``
+    signature. Stage *durations* are not baked in -- datatype objects (and
+    therefore plans) are shared across worlds with different hardware
+    configurations -- but are memoized per config in :meth:`costs_for`.
+    """
+
+    __slots__ = (
+        "type_id", "version", "count", "chunk_bytes", "total", "nchunks",
+        "kind", "base_offset", "src_kind", "dst_kind", "chunks",
+        "_cost_cache",
+    )
+
+    def __init__(self, type_id, version, count, chunk_bytes, total, nchunks,
+                 kind, base_offset, src_kind, dst_kind, chunks):
+        self.type_id = type_id
+        self.version = version
+        self.count = count
+        self.chunk_bytes = chunk_bytes
+        self.total = total
+        self.nchunks = nchunks
+        #: "contig" (pack/unpack stages skipped) or "strided".
+        self.kind = kind
+        self.base_offset = base_offset
+        self.src_kind = src_kind
+        self.dst_kind = dst_kind
+        self.chunks: Tuple[ChunkPlan, ...] = chunks
+        self._cost_cache: Dict["HardwareConfig", dict] = {}
+
+    @classmethod
+    def compile(
+        cls,
+        dtype: "Datatype",
+        count: int,
+        chunk_bytes: int,
+        src_kind: str,
+        dst_kind: str,
+    ) -> "TransferPlan":
+        """Compile the chunk table for ``count`` elements of ``dtype``."""
+        if chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive")
+        segs = dtype.segments_for_count(count)
+        total = dtype.size * count
+        kind = "contig" if segs.count <= 1 else "strided"
+        base = int(segs.offsets[0]) if segs.count else 0
+        nchunks = max(1, math.ceil(total / chunk_bytes)) if total else 1
+        chunks: List[ChunkPlan] = []
+        for i in range(nchunks):
+            lo = i * chunk_bytes
+            hi = min(lo + chunk_bytes, total)
+            csegs = dtype.segments_for_range(count, lo, hi)
+            if kind == "strided" and csegs.uniform() is None:
+                # Build the gather index array now so replay never pays
+                # compilation inside a functional apply.
+                csegs.gather_indices()
+            chunks.append(ChunkPlan(i, lo, hi, csegs))
+        return cls(
+            dtype.type_id, dtype.version, count, chunk_bytes, total, nchunks,
+            kind, base, src_kind, dst_kind, tuple(chunks),
+        )
+
+    def costs_for(self, cfg: "HardwareConfig") -> dict:
+        """Per-chunk stage durations under ``cfg``.
+
+        Returns ``{"pack": [...], "d2h": [...], "h2d": [...]}`` lists
+        indexed by chunk. The pack entry uses exactly the formula of
+        :func:`repro.core.gpu_pack.gpu_pack_cost` (uniform layouts are one
+        ``cudaMemcpy2D``; irregular ones a gather kernel), so replayed
+        operations are charged to the tick what ad-hoc enqueues would be.
+        """
+        costs = self._cost_cache.get(cfg)
+        if costs is not None:
+            return costs
+        pack: List[float] = []
+        d2h: List[float] = []
+        h2d: List[float] = []
+        for cp in self.chunks:
+            uniform = cp.segs.uniform()
+            if uniform is not None:
+                width, height, pitch = uniform
+                pack.append(
+                    cfg.memcpy2d_time(CopyKind.D2D, width, height, pitch, width)
+                )
+            else:
+                pack.append(
+                    cfg.device_gather_time(cp.segs.count, cp.segs.total_bytes)
+                )
+            d2h.append(cfg.memcpy_time(CopyKind.D2H, cp.nbytes))
+            h2d.append(cfg.memcpy_time(CopyKind.H2D, cp.nbytes))
+        costs = {"pack": pack, "d2h": d2h, "h2d": h2d}
+        self._cost_cache[cfg] = costs
+        return costs
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<TransferPlan type{self.type_id}v{self.version} x{self.count} "
+            f"{self.kind} {self.total}B/{self.nchunks}ch "
+            f"{self.src_kind}->{self.dst_kind}>"
+        )

@@ -31,23 +31,31 @@ class TbufPool:
         self.count = chunks
         self._backing = cuda.malloc(chunk_bytes * chunks)
         self._store = Store(cuda.env, name=f"tbufs@{cuda.name}")
-        for i in range(chunks):
-            self._store.put(self._backing.sub(i * chunk_bytes, chunk_bytes))
+        # Chunk slices materialize on first demand (see VbufPool): acquire
+        # deposits a spare synchronously before the get, so the pipeline
+        # blocks exactly when all `chunks` are in flight.
+        self._spare = chunks
 
     @property
     def available(self) -> int:
-        return len(self._store)
+        return len(self._store) + self._spare
 
     @property
     def in_use(self) -> int:
-        return self.count - len(self._store)
+        return self.count - (len(self._store) + self._spare)
 
     def acquire(self):
         """Get one tbuf chunk (an event; yield it)."""
         PERF.bump("tbuf_acquire")
+        if not len(self._store) and self._spare:
+            i = self.count - self._spare
+            self._spare -= 1
+            self._store.put_nowait(
+                self._backing.sub(i * self.chunk_bytes, self.chunk_bytes)
+            )
         return self._store.get()
 
     def release(self, buf: BufferPtr) -> None:
         if buf.nbytes != self.chunk_bytes:
             raise ValueError("released buffer is not a pool tbuf")
-        self._store.put(buf)
+        self._store.put_nowait(buf)

@@ -14,10 +14,87 @@ import itertools
 from typing import Callable, Optional
 
 from ..sim import Environment, Event, Resource, Tracer
+from ..sim.events import PROCESSED, RECYCLABLE_CALLBACKS
 
 __all__ = ["Stream", "CudaEvent"]
 
 _stream_ids = itertools.count()
+
+
+class _StreamOp:
+    """One enqueued stream operation, advanced by event callbacks.
+
+    The original implementation spawned a simulation :class:`Process` per
+    operation; at 5 ops per 64 KB chunk that made generator frames and
+    their init/completion events the pipeline's dominant allocation. This
+    callback chain walks the *same* event sequence -- kick event at enqueue
+    time, engine request issued when the FIFO predecessor completes, one
+    timeout for the transfer duration, then record/release/apply/complete
+    in the legacy order -- so simulated timestamps and event order are
+    bit-identical, with two pooled timeouts and zero generator frames per
+    op instead of a Process, three events and a generator.
+    """
+
+    __slots__ = (
+        "stream", "prev_tail", "engine", "duration", "apply_fn", "label",
+        "done", "_req", "_start",
+    )
+
+    def __init__(self, stream, prev_tail, engine, duration, apply_fn, label, done):
+        self.stream = stream
+        self.prev_tail = prev_tail
+        self.engine = engine
+        self.duration = duration
+        self.apply_fn = apply_fn
+        self.label = label
+        self.done = done
+        self._req = None
+        self._start = 0.0
+        # The kick event keeps op start on the event queue (start order
+        # between ops enqueued at the same instant stays FIFO, exactly as
+        # the per-op process's init event did).
+        kick = stream.env.timeout(0.0, label=label)
+        kick.callbacks.append(self._on_kick)
+
+    def _on_kick(self, _event: Event) -> None:
+        prev = self.prev_tail
+        self.prev_tail = None
+        if prev._state is PROCESSED:
+            self._request()
+        else:
+            prev.callbacks.append(self._on_tail)
+
+    def _on_tail(self, _event: Event) -> None:
+        self._request()
+
+    def _request(self) -> None:
+        req = self.engine.request()
+        self._req = req
+        req.callbacks.append(self._on_req)
+
+    def _on_req(self, _event: Event) -> None:
+        env = self.stream.env
+        self._start = env.now
+        t = env.timeout(self.duration)
+        t.callbacks.append(self._on_done)
+
+    def _on_done(self, _event: Event) -> None:
+        stream = self.stream
+        env = stream.env
+        tracer = stream.tracer
+        if tracer.enabled:
+            tracer.record(self._start, env.now, self.engine.name, self.label)
+        self.engine.release(self._req)
+        if self.apply_fn is not None and env.functional:
+            self.apply_fn()
+        stream._pending -= 1
+        self.done.succeed()
+
+
+# Both timeouts of a stream op are referenced only by the op itself and the
+# schedule, so they are recyclable the moment their callback returns.
+RECYCLABLE_CALLBACKS.add(_StreamOp._on_kick)
+RECYCLABLE_CALLBACKS.add(_StreamOp._on_done)
 
 
 class Stream:
@@ -56,31 +133,8 @@ class Stream:
         done = self.env.event(label=f"{self.name}:{label}")
         self._tail = done
         self._pending += 1
-        self.env.process(
-            self._run_op(prev_tail, engine, duration, apply_fn, label, done),
-            name=f"{self.name}:{label}",
-        )
+        _StreamOp(self, prev_tail, engine, duration, apply_fn, label, done)
         return done
-
-    def _run_op(
-        self,
-        prev_tail: Event,
-        engine: Resource,
-        duration: float,
-        apply_fn: Optional[Callable[[], None]],
-        label: str,
-        done: Event,
-    ):
-        yield prev_tail  # FIFO: wait for the previous op in this stream
-        with engine.request() as req:
-            yield req
-            start = self.env.now
-            yield self.env.timeout(duration)
-            self.tracer.record(start, self.env.now, engine.name, label)
-        if apply_fn is not None and self.env.functional:
-            apply_fn()
-        self._pending -= 1
-        done.succeed()
 
     # -- queries -----------------------------------------------------------------
     def query(self) -> bool:

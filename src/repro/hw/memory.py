@@ -19,6 +19,7 @@ __all__ = [
     "OutOfMemoryError",
     "InvalidPointerError",
     "ALIGNMENT",
+    "wide_rows",
 ]
 
 #: All allocations are aligned to this many bytes (cudaMalloc guarantees
@@ -65,6 +66,10 @@ class BufferPtr:
 
     def view(self, dtype=np.uint8) -> np.ndarray:
         """A zero-copy NumPy view of the pointed-to bytes."""
+        if dtype is np.uint8:
+            # Dominant case (every pack/unpack and staging copy): a plain
+            # byte slice needs no dtype validation or .view() reinterpret.
+            return self.arena.raw[self.offset : self.offset + self.nbytes]
         itemsize = np.dtype(dtype).itemsize
         if self.nbytes % itemsize:
             raise ValueError(
@@ -107,6 +112,35 @@ class BufferPtr:
             f"<BufferPtr {self.space}:{self.arena.name} "
             f"off={self.offset} len={self.nbytes}>"
         )
+
+
+#: Row widths that can be reinterpreted as one machine-sized element.
+_WIDE_DTYPES = {2: np.uint16, 4: np.uint32, 8: np.uint64}
+
+
+def wide_rows(arena: "Arena", offset: int, pitch: int, width: int,
+              height: int) -> Optional[np.ndarray]:
+    """A ``(height,)`` strided view with one ``width``-byte element per row.
+
+    Uniform strided layouts with narrow rows (the paper's 4-byte vector
+    elements) dominate the functional copies; reinterpreting each row as a
+    single ``uint16``/``uint32``/``uint64`` lets NumPy's strided copy loop
+    move one element per row instead of ``width`` bytes. Returns ``None``
+    when the geometry cannot be widened (row width not a machine size, or
+    pitch/offset not multiples of it) -- callers fall back to the byte
+    view. The element values are the same bytes, so copies through the
+    widened view are bit-identical to the 2-D byte copy they replace.
+    """
+    dt = _WIDE_DTYPES.get(width)
+    if dt is None or pitch % width or offset % width:
+        return None
+    arena.check_2d_bounds(offset, pitch, width, height)
+    if height <= 0:
+        return np.empty(0, dtype=dt)
+    base = arena.raw[offset : offset + (height - 1) * pitch + width]
+    return np.lib.stride_tricks.as_strided(
+        base.view(dt), shape=(height,), strides=(pitch,)
+    )
 
 
 class Arena:

@@ -79,6 +79,10 @@ class HCA:
         self.tx = Resource(env, capacity=1, name=f"{self.name}.tx")
         #: Control messages land here; MPI progress engines block on get().
         self.inbox: Store = Store(env, name=f"{self.name}.inbox")
+        #: dst node id -> (event label, process name); building two
+        #: f-strings per control message is measurable on the hot path.
+        self._ctl_labels: Dict[int, tuple] = {}
+        self._loopback_label = f"ctl-loopback:{self.name}"
         node.hca = self
 
     # -- registration ---------------------------------------------------------------
@@ -127,10 +131,11 @@ class HCA:
             start = self.env.now
             wire = cfg.net_post_overhead + src.nbytes / cfg.net_bandwidth
             yield self.env.timeout(wire)
-            self.tracer.record(
-                start, self.env.now, f"{self.name}.tx", "rdma_write",
-                bytes=src.nbytes, dst=dst.node_id,
-            )
+            if self.tracer.enabled:
+                self.tracer.record(
+                    start, self.env.now, f"{self.name}.tx", "rdma_write",
+                    bytes=src.nbytes, dst=dst.node_id,
+                )
         # Wire latency to remote memory; then the data is visible there.
         yield self.env.timeout(cfg.net_latency)
         if self.env.functional:
@@ -172,10 +177,12 @@ class HCA:
             yield req
             start = self.env.now
             yield self.env.timeout(src.nbytes / cfg.net_bandwidth)
-            self.tracer.record(
-                start, self.env.now, f"{responder.name}.tx", "rdma_read_resp",
-                bytes=src.nbytes, origin=self.node.node_id,
-            )
+            if responder.tracer.enabled:
+                responder.tracer.record(
+                    start, self.env.now, f"{responder.name}.tx",
+                    "rdma_read_resp",
+                    bytes=src.nbytes, origin=self.node.node_id,
+                )
         yield self.env.timeout(cfg.net_latency)
         if self.env.functional:
             src_node = self.fabric.nodes[src.node_id]
@@ -191,13 +198,17 @@ class HCA:
         """
         if dst_node == self.node.node_id:
             # Loopback: skip the wire, deliver through host memory latency.
-            done = self.env.event(label=f"ctl-loopback:{self.name}")
+            done = self.env.event(label=self._loopback_label)
             self.env.process(self._loopback_proc(payload, done))
             return done
-        done = self.env.event(label=f"ctl:{self.name}->{dst_node}")
+        labels = self._ctl_labels.get(dst_node)
+        if labels is None:
+            labels = (f"ctl:{self.name}->{dst_node}", f"ctl {self.name}->{dst_node}")
+            self._ctl_labels[dst_node] = labels
+        done = self.env.event(label=labels[0])
         self.env.process(
             self._control_proc(dst_node, payload, size_bytes, done),
-            name=f"ctl {self.name}->{dst_node}",
+            name=labels[1],
         )
         return done
 
@@ -218,9 +229,11 @@ class HCA:
                 + size / cfg.net_bandwidth
             )
             yield self.env.timeout(wire)
-            self.tracer.record(
-                start, self.env.now, f"{self.name}.tx", "control", dst=dst_node
-            )
+            if self.tracer.enabled:
+                self.tracer.record(
+                    start, self.env.now, f"{self.name}.tx", "control",
+                    dst=dst_node,
+                )
         done.succeed()
         yield self.env.timeout(cfg.net_latency)
         msg = ControlMessage(self.node.node_id, dst_node, payload)

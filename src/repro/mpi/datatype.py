@@ -236,6 +236,7 @@ class Datatype:
     #: LRU capacities of the per-instance segment-compilation caches.
     SEG_CACHE_CAP = 64
     SLICE_CACHE_CAP = 256
+    PLAN_CACHE_CAP = 32
 
     __slots__ = (
         "name",
@@ -249,6 +250,7 @@ class Datatype:
         "version",
         "_seg_cache",
         "_slice_cache",
+        "_plan_cache",
     )
 
     def __init__(
@@ -285,6 +287,8 @@ class Datatype:
         self._slice_cache: "OrderedDict[Tuple[int, int, int], SegmentList]" = (
             OrderedDict()
         )
+        # (version, count, chunk_bytes, src_kind, dst_kind) -> TransferPlan
+        self._plan_cache: "OrderedDict[tuple, object]" = OrderedDict()
 
     # -- primitives --------------------------------------------------------------
     @classmethod
@@ -735,16 +739,49 @@ class Datatype:
             cache.popitem(last=False)
         return segs
 
+    def plan_for(
+        self, count: int, chunk_bytes: int, src_kind: str, dst_kind: str
+    ):
+        """The compiled :class:`~repro.core.plan.TransferPlan` for a
+        pipelined transfer of ``count`` elements at ``chunk_bytes``
+        granularity between the given buffer kinds.
+
+        Plans are cached in a per-instance LRU beside the segment caches,
+        keyed on ``(version, count, chunk_bytes, src_kind, dst_kind)`` --
+        the full signature of a transfer shape -- so a message stream with
+        a stable shape compiles once and replays forever. Like the segment
+        caches, the plan cache is a wall-clock optimization only: a cached
+        plan is bit-identical to a fresh compilation.
+        """
+        key = (self.version, count, chunk_bytes, src_kind, dst_kind)
+        cache = self._plan_cache
+        plan = cache.get(key)
+        if plan is not None:
+            cache.move_to_end(key)
+            PERF.bump("plan_cache_hit")
+            return plan
+        PERF.bump("plan_cache_miss")
+        # Imported lazily: repro.core.plan imports this module.
+        from ..core.plan import TransferPlan
+
+        plan = TransferPlan.compile(self, count, chunk_bytes, src_kind, dst_kind)
+        cache[key] = plan
+        if len(cache) > self.PLAN_CACHE_CAP:
+            cache.popitem(last=False)
+        return plan
+
     def invalidate_segment_cache(self) -> None:
         """Drop every cached compilation and bump :attr:`version`.
 
         Called automatically when a type is *derived from* (``resized`` /
         ``dup``): the derived instance starts with an empty cache and the
         base's version bump guarantees no key computed under the old
-        derivation graph is ever trusted again.
+        derivation graph is ever trusted again. Transfer plans embed
+        segment slices, so the plan cache is dropped with them.
         """
         self._seg_cache.clear()
         self._slice_cache.clear()
+        self._plan_cache.clear()
         self.version += 1
         PERF.bump("cache_invalidation")
 

@@ -98,12 +98,17 @@ class VbufPool:
         self._store: Store = Store(env, name=f"vbufs@node{node.node_id}")
         self._backing = node.malloc_host(buf_bytes * count)
         self._peak = 0
-        for i in range(count):
-            self._store.put(self._backing.sub(i * buf_bytes, buf_bytes))
+        # Slices of the backing allocation are materialized on first
+        # demand: a pool is sized for the worst case (256 vbufs) but most
+        # transfers touch a handful, and endpoint construction is on the
+        # wall-clock critical path of every world. Acquire semantics are
+        # unchanged -- a spare slice is deposited synchronously before the
+        # get, so blocking happens exactly when all `count` are in use.
+        self._spare = count
 
     @property
     def available(self) -> int:
-        return len(self._store)
+        return len(self._store) + self._spare
 
     @property
     def peak_in_use(self) -> int:
@@ -112,15 +117,21 @@ class VbufPool:
 
     def acquire(self):
         """Get one vbuf (an event; yield it)."""
+        if not len(self._store) and self._spare:
+            i = self.count - self._spare
+            self._spare -= 1
+            self._store.put_nowait(
+                self._backing.sub(i * self.buf_bytes, self.buf_bytes)
+            )
         get = self._store.get()
-        in_use = self.count - len(self._store)
-        self._peak = max(getattr(self, "_peak", 0), in_use)
+        in_use = self.count - (len(self._store) + self._spare)
+        self._peak = max(self._peak, in_use)
         return get
 
     def release(self, buf: BufferPtr) -> None:
         if buf.nbytes != self.buf_bytes:
             raise MpiError("released buffer is not a pool vbuf")
-        self._store.put(buf)
+        self._store.put_nowait(buf)
 
 
 class Endpoint:
@@ -171,6 +182,7 @@ class Endpoint:
         #: re-armed whenever a new message envelope arrives; Probe waits on
         #: it between scans of the unexpected queue.
         self.arrival_event: Event = Event(self.env, label=f"arrival:{rank}")
+        self._cpu_engine = f"cpu{node.node_id}"
         self._daemon = self.env.process(
             self._progress_loop(), name=f"progress:rank{rank}"
         )
@@ -248,7 +260,8 @@ class Endpoint:
             start = self.env.now
             if duration > 0:
                 yield self.env.timeout(duration)
-            self.tracer.record(start, self.env.now, f"cpu{self.node.node_id}", label)
+            if self.tracer.enabled:
+                self.tracer.record(start, self.env.now, self._cpu_engine, label)
         return None
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -13,7 +13,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..hw.config import HardwareConfig
-from ..hw.memory import BufferPtr
+from ..hw.memory import BufferPtr, wide_rows
 from ..perf.stats import PERF
 from .datatype import Datatype, DatatypeError, SegmentList
 
@@ -22,8 +22,10 @@ __all__ = [
     "pack_into",
     "unpack_from",
     "pack_range_bytes",
+    "pack_range_into",
     "unpack_range_from",
     "unpack_array_into",
+    "strided_rows_equal",
     "host_pack_time",
     "host_pack_range_time",
     "check_buffer_bounds",
@@ -58,6 +60,9 @@ def _gather(buf: BufferPtr, segs: SegmentList) -> np.ndarray:
         PERF.bump("gather_2d")
         width, height, pitch = uniform
         base = int(segs.offsets[0]) if segs.count else 0
+        w = wide_rows(buf.arena, buf.offset + base, pitch, width, height)
+        if w is not None:
+            return np.ascontiguousarray(w).view(np.uint8)
         view = buf.arena.strided_view(buf.offset + base, pitch, width, height)
         return view.reshape(-1).copy()
     PERF.bump("gather_vec")
@@ -76,6 +81,10 @@ def _scatter(buf: BufferPtr, segs: SegmentList, data: np.ndarray) -> None:
         PERF.bump("scatter_2d")
         width, height, pitch = uniform
         base = int(segs.offsets[0]) if segs.count else 0
+        w = wide_rows(buf.arena, buf.offset + base, pitch, width, height)
+        if w is not None and data.flags.c_contiguous:
+            np.copyto(w, data.view(w.dtype))
+            return
         view = buf.arena.strided_view(buf.offset + base, pitch, width, height)
         np.copyto(view, data.reshape(height, width))
         return
@@ -127,6 +136,35 @@ def pack_range_bytes(
     return _gather(buf, segs)
 
 
+def pack_range_into(
+    buf: BufferPtr, dtype: Datatype, count: int, lo: int, hi: int,
+    out: np.ndarray,
+) -> None:
+    """Pack range ``[lo, hi)`` straight into contiguous ``out[: hi - lo]``.
+
+    The allocation-free variant of :func:`pack_range_bytes` used by the
+    staged host send path: gathering directly into the wire staging buffer
+    fuses the pack and the stage copy into one movement.
+    """
+    check_buffer_bounds(buf, dtype, count)
+    segs = dtype.segments_for_range(count, lo, hi)
+    dst = out[: hi - lo]
+    uniform = segs.uniform()
+    if uniform is not None:
+        PERF.bump("gather_2d")
+        width, height, pitch = uniform
+        base = int(segs.offsets[0]) if segs.count else 0
+        w = wide_rows(buf.arena, buf.offset + base, pitch, width, height)
+        if w is not None and dst.flags.c_contiguous:
+            np.copyto(dst.view(w.dtype), w)
+            return
+        view = buf.arena.strided_view(buf.offset + base, pitch, width, height)
+        np.copyto(dst.reshape(height, width), view)
+        return
+    PERF.bump("gather_vec")
+    np.take(buf.view(), segs.gather_indices(), out=dst)
+
+
 def unpack_range_from(
     src: BufferPtr, dtype: Datatype, count: int, dst: BufferPtr, lo: int, hi: int
 ) -> None:
@@ -147,6 +185,35 @@ def unpack_array_into(
     check_buffer_bounds(dst, dtype, count)
     segs = dtype.segments_for_range(count, lo, lo + data.nbytes)
     _scatter(dst, segs, data)
+
+
+def strided_rows_equal(
+    buf: BufferPtr, pattern: np.ndarray, width: int, pitch: int, height: int
+) -> bool:
+    """Do ``buf``'s payload columns equal ``pattern``'s?
+
+    Compares ``height`` rows of ``width`` payload bytes at row stride
+    ``pitch`` (the delivered-data check of the latency baselines) against
+    the same columns of the contiguous ``pattern`` bytes. Rows that widen
+    to a machine element are compared through two strided-to-contiguous
+    element copies instead of a slow strided byte ``array_equal``.
+    """
+    if height <= 0 or width <= 0:
+        return True
+    span = (height - 1) * pitch + width
+    w = wide_rows(buf.arena, buf.offset, pitch, width, height)
+    if w is not None and pattern.flags.c_contiguous and pattern.nbytes >= span:
+        pw = np.lib.stride_tricks.as_strided(
+            pattern[:span].view(w.dtype), shape=(height,), strides=(pitch,)
+        )
+        return bool(np.array_equal(
+            np.ascontiguousarray(w), np.ascontiguousarray(pw)
+        ))
+    got = buf.arena.strided_view(buf.offset, pitch, width, height)
+    want = np.lib.stride_tricks.as_strided(
+        pattern[:span], shape=(height, width), strides=(pitch, 1)
+    )
+    return bool(np.array_equal(got, want))
 
 
 def host_pack_time(cfg: HardwareConfig, dtype: Datatype, count: int) -> float:

@@ -44,8 +44,9 @@ from .pack import (
     host_pack_range_time,
     host_pack_time,
     pack_bytes,
-    pack_range_bytes,
+    pack_range_into,
     unpack_array_into,
+    unpack_range_from,
 )
 from .request import Request
 from .status import MpiError, Status
@@ -113,7 +114,7 @@ class RecvState:
         vbuf = self.staging.pop(index)
         self.endpoint.recv_vbufs.release(vbuf)
         if self.drained is not None and self.next_grant < self.nchunks:
-            self.drained.put(index)
+            self.drained.put_nowait(index)
 
     def finish_chunk(self) -> None:
         """Mark one chunk fully landed; fires ``done`` on the last one."""
@@ -449,8 +450,9 @@ def _rdv_send_host(endpoint, envelope, buf, count, datatype, req):
                 host_pack_range_time(cfg, datatype, count, lo, hi), "pack:rdv"
             )
             if endpoint.env.functional:
-                data = pack_range_bytes(buf, datatype, count, lo, hi)
-                vbuf.view()[: data.nbytes] = data
+                # Gather straight into the staging vbuf: pack + stage copy
+                # fused into one movement (same bytes, half the traffic).
+                pack_range_into(buf, datatype, count, lo, hi, vbuf.view())
             yield endpoint.hca.rdma_write(vbuf.sub(0, hi - lo), rb)
             yield endpoint.post_control(
                 envelope.dst, {"type": "fin", "ssn": ssn, "chunk": i}
@@ -621,10 +623,12 @@ def _host_fin_sink(state: RecvState, chunk_index: int) -> None:
             "unpack:rdv",
         )
         if endpoint.env.functional:
+            # Scatter directly out of the staging vbuf (it is recycled only
+            # by retire_chunk below, after the bytes have landed).
             vbuf = state.staging[chunk_index]
-            unpack_array_into(
-                vbuf.view()[: hi - lo].copy(), req.datatype, req.count,
-                req.buf, lo=lo,
+            unpack_range_from(
+                vbuf.sub(0, hi - lo), req.datatype, req.count, req.buf,
+                lo, hi,
             )
         state.retire_chunk(chunk_index)
 

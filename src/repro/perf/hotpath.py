@@ -20,25 +20,43 @@ from typing import Dict, Optional
 
 __all__ = [
     "hotpath_file",
+    "pipeline_file",
     "load",
     "record_wallclock",
     "record_pack_throughput",
+    "record_sim_throughput",
 ]
 
 _DEFAULT_NAME = "BENCH_hotpath.json"
+_PIPELINE_NAME = "BENCH_pipeline.json"
 
 
-def hotpath_file() -> Path:
-    """Resolve the JSON path: ``$REPRO_BENCH_HOTPATH`` or repo root."""
-    env = os.environ.get("REPRO_BENCH_HOTPATH")
+def _resolve(env_var: str, default_name: str) -> Path:
+    env = os.environ.get(env_var)
     if env:
         return Path(env)
     # Repo root = three levels above src/repro/perf/.
     root = Path(__file__).resolve().parents[3]
-    candidate = root / _DEFAULT_NAME
+    candidate = root / default_name
     if candidate.parent.is_dir():
         return candidate
-    return Path.cwd() / _DEFAULT_NAME
+    return Path.cwd() / default_name
+
+
+def hotpath_file() -> Path:
+    """Resolve the JSON path: ``$REPRO_BENCH_HOTPATH`` or repo root."""
+    return _resolve("REPRO_BENCH_HOTPATH", _DEFAULT_NAME)
+
+
+def pipeline_file() -> Path:
+    """Resolve ``BENCH_pipeline.json``: ``$REPRO_BENCH_PIPELINE`` or root.
+
+    The pipeline file carries the before/after wall-clock ledger of the
+    compiled-plan + pooled-event work, in the same schema as the hotpath
+    file (``before`` pinned on first write, ``after`` tracking the latest
+    run).
+    """
+    return _resolve("REPRO_BENCH_PIPELINE", _PIPELINE_NAME)
 
 
 def load(path: Optional[Path] = None) -> dict:
@@ -89,6 +107,24 @@ def record_pack_throughput(
     data = load(path)
     data["pack_throughput"] = {
         "bytes_per_second": round(bytes_per_second, 1),
+        "workload": workload,
+    }
+    _save(data, path)
+
+
+def record_sim_throughput(
+    events_per_second: float,
+    workload: str,
+    path: Optional[Path] = None,
+) -> None:
+    """Record the reference simulator event throughput (events/second).
+
+    Like ``pack_throughput``, the recorded figure is a reference for the
+    ``perf``-marked pytest guard (runs more than 30% below it fail).
+    """
+    data = load(path)
+    data["sim_throughput"] = {
+        "events_per_second": round(events_per_second, 1),
         "workload": workload,
     }
     _save(data, path)

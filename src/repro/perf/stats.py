@@ -24,6 +24,12 @@ Counter names
     Pack/unpack served by one NumPy fancy-indexing operation.
 ``tbuf_acquire``
     Device staging chunks handed out by :class:`repro.core.staging.TbufPool`.
+``plan_cache_hit`` / ``plan_cache_miss``
+    Lookups of the per-datatype compiled :class:`~repro.core.plan.TransferPlan`
+    cache (keyed on version, count, chunk size and buffer kinds).
+``event_pool_hit`` / ``event_pool_miss``
+    Simulation Timeout events served from the environment's recycle pool
+    vs. freshly allocated (only counted while pooling is enabled).
 """
 
 from __future__ import annotations
@@ -58,10 +64,17 @@ class PerfStats:
 
     # -- derived figures ----------------------------------------------------
     def hit_rate(self, kind: str) -> float:
-        """Hit rate in [0, 1] for ``kind`` in {"seg", "slice"} (0 if unused)."""
+        """Hit rate in [0, 1] for ``kind`` in {"seg", "slice", "plan"}
+        (0 if unused)."""
         hits = self.counters[f"{kind}_cache_hit"]
         misses = self.counters[f"{kind}_cache_miss"]
         total = hits + misses
+        return hits / total if total else 0.0
+
+    def pool_rate(self) -> float:
+        """Event-pool hit rate in [0, 1] (0 when pooling never engaged)."""
+        hits = self.counters["event_pool_hit"]
+        total = hits + self.counters["event_pool_miss"]
         return hits / total if total else 0.0
 
     def footer(self) -> str:
@@ -69,11 +82,17 @@ class PerfStats:
         c = self.counters
         seg = c["seg_cache_hit"] + c["seg_cache_miss"]
         sli = c["slice_cache_hit"] + c["slice_cache_miss"]
+        plan = c["plan_cache_hit"] + c["plan_cache_miss"]
+        pool = c["event_pool_hit"] + c["event_pool_miss"]
         parts = [
             f"seg-cache {100 * self.hit_rate('seg'):.0f}% hit "
             f"({c['seg_cache_hit']}/{seg})",
             f"slice-cache {100 * self.hit_rate('slice'):.0f}% hit "
             f"({c['slice_cache_hit']}/{sli})",
+            f"plan-cache {100 * self.hit_rate('plan'):.0f}% hit "
+            f"({c['plan_cache_hit']}/{plan})",
+            f"event-pool {100 * self.pool_rate():.0f}% hit "
+            f"({c['event_pool_hit']}/{pool})",
             f"pack {c['gather_2d'] + c['scatter_2d']} 2d / "
             f"{c['gather_vec'] + c['scatter_vec']} vec",
             f"idx {c['index_reuse']} reused / {c['index_build']} built",

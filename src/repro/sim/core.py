@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Iterable, List, Optional, Tuple
 
+from ..perf.stats import PERF
 from .events import PROCESSED, TRIGGERED, AllOf, AnyOf, Event, SimulationError, Timeout
 from .process import Process, ProcessGenerator
 
@@ -21,13 +23,36 @@ class Environment:
     Time is a float in **seconds**. Events scheduled at the same instant are
     processed in FIFO order of scheduling (a monotonically increasing
     sequence number breaks heap ties), which makes runs fully deterministic.
+
+    Two queue structures back the schedule, merged by ``(time, seq)`` key:
+
+    * the binary heap holds events scheduled with a positive delay;
+    * an O(1) *immediate lane* (a deque) holds zero-delay events -- the
+      vast majority (every ``succeed``, store dispatch and resource grant).
+      Because the clock never moves backwards and the sequence number is
+      monotonic, appended entries are already in key order, so the lane
+      needs no sifting and the merge is a single head comparison.
+
+    The split is invisible to simulated results: both structures order by
+    the same key, so the processed event sequence is identical to a single
+    heap's.
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0, event_pooling: bool = True):
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, Event]] = []
+        self._imm: "deque[Tuple[float, int, Event]]" = deque()
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: Free list of recyclable processed Timeouts (None disables the
+        #: pool; see :class:`repro.sim.events.Timeout`). Pooling changes
+        #: wall-clock only, never event order or timestamps.
+        self._timeout_pool: Optional[List[Timeout]] = [] if event_pooling else None
+        #: Pool hit/miss tallies batched locally and folded into the global
+        #: PERF counters when :meth:`run` exits -- a per-timeout PERF.bump
+        #: is measurable at millions of events per second.
+        self._pool_hits = 0
+        self._pool_misses = 0
         #: When False, bulk data movement (CUDA copy apply functions, RDMA
         #: payload copies) charges simulated time but skips the actual byte
         #: movement. Used for timing-only benchmark runs whose working sets
@@ -50,6 +75,30 @@ class Environment:
         return Event(self, label=label)
 
     def timeout(self, delay: float, value: Any = None, label: str = "") -> Timeout:
+        pool = self._timeout_pool
+        if pool is None:
+            return Timeout(self, delay, value=value, label=label)
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative timeout delay: {delay!r}")
+            t = pool.pop()
+            t.callbacks = []
+            t._ok = True
+            t._value = value
+            t._defused = False
+            t.label = label
+            t.delay = delay
+            # Inlined _schedule (hot path; recycled timeouts dominate
+            # event creation): same key, same lane split.
+            t._state = TRIGGERED
+            self._eid += 1
+            if delay == 0.0:
+                self._imm.append((self._now, self._eid, t))
+            else:
+                heapq.heappush(self._queue, (self._now + delay, self._eid, t))
+            self._pool_hits += 1
+            return t
+        self._pool_misses += 1
         return Timeout(self, delay, value=value, label=label)
 
     def process(self, generator: ProcessGenerator, name: str = "") -> Process:
@@ -63,13 +112,16 @@ class Environment:
 
     # -- scheduling ---------------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        if delay < 0:
-            raise SimulationError(f"cannot schedule {event!r} in the past")
         # Equivalent to event._mark_triggered(), inlined: _schedule runs
         # once per event and the method call shows up in profiles.
         event._state = TRIGGERED
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, self._eid, event))
+        if delay == 0.0:
+            self._imm.append((self._now, self._eid, event))
+        elif delay > 0:
+            heapq.heappush(self._queue, (self._now + delay, self._eid, event))
+        else:
+            raise SimulationError(f"cannot schedule {event!r} in the past")
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle.
@@ -80,7 +132,12 @@ class Environment:
         :meth:`run` / :meth:`step` resumes exactly there. Stopping the
         clock never drops or reorders scheduled work.
         """
-        return self._queue[0][0] if self._queue else float("inf")
+        imm, queue = self._imm, self._queue
+        if imm:
+            if queue and queue[0] < imm[0]:
+                return queue[0][0]
+            return imm[0][0]
+        return queue[0][0] if queue else float("inf")
 
     def step(self) -> None:
         """Process exactly one event (the resumption primitive).
@@ -89,10 +146,13 @@ class Environment:
         entry's time -- which may be an event left over from a previous
         ``run(until=time)`` call -- and processes it.
         """
-        try:
-            when, _, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule() from None
+        imm, queue = self._imm, self._queue
+        if imm and not (queue and queue[0] < imm[0]):
+            when, _, event = imm.popleft()
+        elif queue:
+            when, _, event = heapq.heappop(queue)
+        else:
+            raise EmptySchedule()
         assert when >= self._now, "event queue corrupted: time went backwards"
         self._now = when
         event._process()
@@ -127,23 +187,42 @@ class Environment:
                 )
 
         queue = self._queue
+        imm = self._imm
         pop = heapq.heappop
-        while True:
-            if stop_event is not None and stop_event._state is PROCESSED:
-                if not stop_event._ok:
-                    stop_event.defuse()
-                    raise stop_event._value
-                return stop_event._value
-            if not queue:
-                if stop_event is not None:
-                    raise SimulationError(
-                        f"run(until={stop_event!r}) exhausted the schedule before "
-                        "the event triggered (deadlock?)"
-                    )
-                return None
-            if queue[0][0] > stop_time:
-                self._now = stop_time
-                return None
-            when, _, event = pop(queue)
-            self._now = when
-            event._process()
+        popleft = imm.popleft
+        try:
+            while True:
+                if stop_event is not None and stop_event._state is PROCESSED:
+                    if not stop_event._ok:
+                        stop_event.defuse()
+                        raise stop_event._value
+                    return stop_event._value
+                # Merge the immediate lane and the heap by (time, seq) key;
+                # the lane is append-ordered, so its head is its minimum.
+                if imm:
+                    use_imm = not (queue and queue[0] < imm[0])
+                    head_time = imm[0][0] if use_imm else queue[0][0]
+                elif queue:
+                    use_imm = False
+                    head_time = queue[0][0]
+                else:
+                    if stop_event is not None:
+                        raise SimulationError(
+                            f"run(until={stop_event!r}) exhausted the schedule "
+                            "before the event triggered (deadlock?)"
+                        )
+                    return None
+                if head_time > stop_time:
+                    self._now = stop_time
+                    return None
+                when, _, event = popleft() if use_imm else pop(queue)
+                self._now = when
+                event._process()
+        finally:
+            # Fold the batched pool tallies into the global perf counters.
+            if self._pool_hits:
+                PERF.bump("event_pool_hit", self._pool_hits)
+                self._pool_hits = 0
+            if self._pool_misses:
+                PERF.bump("event_pool_miss", self._pool_misses)
+                self._pool_misses = 0

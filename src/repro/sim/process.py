@@ -11,7 +11,13 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
-from .events import Event, Interrupt, SimulationError
+from .events import (
+    PROCESSED,
+    RECYCLABLE_CALLBACKS,
+    Event,
+    Interrupt,
+    SimulationError,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from .core import Environment
@@ -43,12 +49,13 @@ class Process(Event):
         self._target: Optional[Event] = None
         # Kick off the generator via an immediately-processed initialization
         # event so that process start is itself an event on the queue (start
-        # order between processes created at the same instant is FIFO).
-        init = Event(env, label=f"init:{self.name}")
+        # order between processes created at the same instant is FIFO). The
+        # zero-delay timeout comes from the environment's recycle pool, so
+        # steady-state process creation allocates no event objects.
+        # The label reuses the process name unformatted: building an
+        # "init:<name>" string per process start shows up in profiles.
+        init = env.timeout(0.0, label=self.name)
         init.callbacks.append(self._resume)
-        init._ok = True
-        init._value = None
-        env._schedule(init)
 
     @property
     def is_alive(self) -> bool:
@@ -87,41 +94,49 @@ class Process(Event):
     # -- driver ---------------------------------------------------------------
     def _resume(self, event: Event) -> None:
         """Advance the generator with ``event``'s outcome."""
-        self.env._active_process = self
+        env = self.env
+        generator = self._generator
+        env._active_process = self
         self._target = None
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = generator.send(event._value)
                 else:
                     event.defuse()
-                    next_event = self._generator.throw(event._value)
+                    next_event = generator.throw(event._value)
             except StopIteration as exc:
-                self.env._active_process = None
+                env._active_process = None
                 self.succeed(exc.value)
                 return
             except BaseException as exc:
-                self.env._active_process = None
+                env._active_process = None
                 self.fail(exc)
                 return
 
             if not isinstance(next_event, Event):
-                self.env._active_process = None
+                env._active_process = None
                 error = SimulationError(
                     f"process {self.name!r} yielded a non-event: {next_event!r}"
                 )
                 self.fail(error)
                 return
-            if next_event.env is not self.env:
-                self.env._active_process = None
+            if next_event.env is not env:
+                env._active_process = None
                 self.fail(SimulationError("yielded event belongs to another environment"))
                 return
 
-            if next_event.processed:
+            if next_event._state is PROCESSED:
                 # Already done: loop and feed its value straight back in.
                 event = next_event
                 continue
             next_event.callbacks.append(self._resume)
             self._target = next_event
-            self.env._active_process = None
+            env._active_process = None
             return
+
+
+# A process drops its reference to the yielded event when it resumes
+# (``self._target = None``), so a Timeout whose only waiter is a process can
+# be recycled as soon as the resume callback returns.
+RECYCLABLE_CALLBACKS.add(Process._resume)

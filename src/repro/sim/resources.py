@@ -149,6 +149,25 @@ class Store:
         self._dispatch()
         return event
 
+    def put_nowait(self, item: Any) -> None:
+        """Deposit an item without creating a put event.
+
+        For callers that ignore the returned event (pool pre-fill and
+        buffer release), the StorePut event is pure overhead: it succeeds
+        immediately and nothing ever waits on it. Skipping it removes one
+        allocation and one scheduled no-op per put; because the dropped
+        event has no callbacks, the relative order of all remaining events
+        is unchanged. Falls back to :meth:`put` when the deposit cannot
+        complete immediately (bounded store at capacity, or queued putters
+        whose FIFO turn must come first).
+        """
+        if self._putters or len(self.items) >= self.capacity:
+            self.put(item)
+            return
+        self.items.append(item)
+        if self._getters:
+            self._dispatch()
+
     def get(self, filt: Optional[Callable[[Any], bool]] = None) -> StoreGet:
         event = StoreGet(self, filt)
         self._getters.append(event)
