@@ -19,7 +19,7 @@ import sys
 
 from .experiments import EXPERIMENTS
 from .parallel import run_many
-from .report import perf_stats_footer
+from .report import fault_stats_footer, perf_stats_footer
 
 
 def main(argv=None) -> int:
@@ -68,6 +68,9 @@ def main(argv=None) -> int:
         print(res.text)
         print(f"[{res.name} regenerated in {res.elapsed:.1f}s wall time]\n")
     print(perf_stats_footer())
+    faults = fault_stats_footer()
+    if faults:
+        print(faults)
     return 0
 
 

@@ -13,6 +13,7 @@ __all__ = [
     "series_table",
     "comparison_row",
     "perf_stats_footer",
+    "fault_stats_footer",
 ]
 
 
@@ -30,6 +31,21 @@ def perf_stats_footer(snapshot: Optional[Dict[str, int]] = None) -> str:
     stats = PerfStats()
     stats.merge(snapshot)
     return stats.footer()
+
+
+def fault_stats_footer(snapshot: Optional[Dict[str, int]] = None) -> str:
+    """One-line ``[faults: ...]`` summary; empty when nothing fired.
+
+    Nonzero only for fault-matrix runs (or real recovery activity); the
+    paper-figure experiments run with faults disabled and print nothing.
+    """
+    if snapshot is None:
+        return PERF.fault_footer()
+    from ..perf.stats import PerfStats
+
+    stats = PerfStats()
+    stats.merge(snapshot)
+    return stats.fault_footer()
 
 
 def format_size(nbytes: int) -> str:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-__all__ = ["GpuNcConfig"]
+__all__ = ["GpuNcConfig", "RecoveryConfig"]
 
 
 @dataclass(frozen=True)
@@ -44,4 +44,54 @@ class GpuNcConfig:
             raise ValueError("tbuf_chunks must be >= 1")
 
     def with_overrides(self, **kwargs) -> "GpuNcConfig":
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Timeout/retry policy of the rendezvous recovery layer.
+
+    Arming recovery (``MpiWorld(recovery=RecoveryConfig())``, automatic
+    when the cluster carries a :class:`~repro.ib.faults.FaultPlan`) wakes
+    three state machines documented in DESIGN.md: per-chunk RDMA retry with
+    capped exponential backoff, sender RTS re-post until the first CTS, and
+    a receiver watchdog that re-grants landing windows and NACKs missing
+    FINs. All values are simulated seconds. Defaults are generous multiples
+    of the worst-case healthy-path latencies, so an armed-but-fault-free
+    run never triggers a recovery action (the trace-equality tests pin
+    this).
+    """
+
+    #: RDMA local-completion timeout before a chunk is retransmitted.
+    rdma_timeout: float = 300e-6
+    #: Attempts (RDMA retransmits, RTS re-posts, vbuf waits) before the
+    #: transaction is failed loudly instead of retried.
+    max_attempts: int = 6
+    #: First retry backoff; doubles per attempt up to :attr:`backoff_cap`.
+    backoff_base: float = 25e-6
+    backoff_cap: float = 400e-6
+    #: Sender-side wait for the first CTS before re-posting the RTS.
+    rts_timeout: float = 500e-6
+    #: Receiver watchdog probe period; it acts only after a full period
+    #: with no FIN/grant/drain progress.
+    watchdog_interval: float = 800e-6
+    #: Progress-free watchdog periods tolerated before declaring the
+    #: transaction dead.
+    watchdog_max_idle: int = 8
+    #: Device-staging (tbuf) acquisition wait before a chunk degrades from
+    #: the GPU-offload path to the host-style strided-PCIe path; also the
+    #: base wait of the bounded vbuf-acquisition retry.
+    staging_timeout: float = 200e-6
+    #: Master switch for the tbuf degradation ladder.
+    degrade_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("rdma_timeout", "backoff_base", "backoff_cap",
+                     "rts_timeout", "watchdog_interval", "staging_timeout"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.max_attempts < 1 or self.watchdog_max_idle < 1:
+            raise ValueError("max_attempts and watchdog_max_idle must be >= 1")
+
+    def with_overrides(self, **kwargs) -> "RecoveryConfig":
         return replace(self, **kwargs)

@@ -33,6 +33,7 @@ import numpy as np
 
 from ..hw.config import CopyKind
 from ..mpi import protocol as _proto
+from ..perf.stats import PERF
 from ..mpi.datatype import Datatype, SegmentList
 from ..mpi.pack import pack_range_bytes, unpack_range_from
 from ..mpi.request import Request
@@ -162,21 +163,26 @@ class GpuNcEngine:
             tplan = dtype.plan_for(count, chunk, buf.space, "wire")
             costs = tplan.costs_for(endpoint.cuda.cfg)
         ssn = endpoint.new_ssn()
-        state = _proto.SendState(endpoint=endpoint)
+        state = _proto.SendState(endpoint=endpoint, ssn=ssn, dst=envelope.dst)
         endpoint.send_states[ssn] = state
+        rec = endpoint.recovery
+        rts_payload = {
+            "type": "rts",
+            "ssn": ssn,
+            "envelope": envelope,
+            "total": total,
+            "chunk_pref": chunk,
+            "mode": "gpu",
+        }
         with endpoint.send_order.request() as order:
             yield order
-            yield endpoint.post_control(
-                envelope.dst,
-                {
-                    "type": "rts",
-                    "ssn": ssn,
-                    "envelope": envelope,
-                    "total": total,
-                    "chunk_pref": chunk,
-                    "mode": "gpu",
-                },
-            )
+            yield endpoint.post_control(envelope.dst, rts_payload)
+        if rec is not None:
+            # Packing starts immediately after the RTS, so the RTS-retry
+            # loop runs beside the chunk pipeline instead of gating it.
+            def cts_monitor():
+                yield from _proto.await_cts(endpoint, state, rts_payload, rec)
+            env.process(cts_monitor(), name=f"cts-monitor:{ssn}")
 
         def chunk_proc(i: int):
             lo = i * chunk
@@ -185,51 +191,61 @@ class GpuNcEngine:
             if plan.kind == "contig":
                 # Three-stage pipeline of the earlier MVAPICH2-GPU design:
                 # D2H straight from the user buffer.
-                vbuf = yield endpoint.send_vbufs.acquire()
+                vbuf = yield from _proto.acquire_vbuf(endpoint, endpoint.send_vbufs)
                 yield endpoint.cuda.memcpy_async(
                     vbuf.sub(0, n), buf.sub(plan.base_offset + lo, n),
                     stream=res.d2h, label=f"d2h[{i}]",
                 )
-            elif tplan is not None:
-                # Plan replay. The tbuf is still the device-side flow
-                # control token (same acquire/release points, so the
-                # schedule is unchanged), but the gather lands straight in
-                # the vbuf at D2H completion instead of staging through
-                # device memory twice.
-                cp = tplan.chunks[i]
-                tbuf = yield res.tbufs.acquire()
-                yield res.pack.enqueue(
-                    endpoint.cuda.gpu.exec_engine, costs["pack"][i], None,
-                    label=cp.pack_label,
-                )
-                vbuf = yield endpoint.send_vbufs.acquire()
-                yield res.d2h.enqueue(
-                    endpoint.cuda.gpu.engine_for(CopyKind.D2H),
-                    costs["d2h"][i],
-                    lambda cp=cp, vbuf=vbuf: cp.gather_into(buf, vbuf.view()),
-                    label=cp.d2h_label,
-                )
-                res.tbufs.release(tbuf)
-            elif self.config.use_gpu_offload:
-                # The paper's design: pack on the GPU, then contiguous D2H.
-                tbuf = yield res.tbufs.acquire()
-                yield gpu_pack_chunk(
-                    endpoint.cuda, buf, dtype, count, lo, hi, tbuf, res.pack
-                )
-                vbuf = yield endpoint.send_vbufs.acquire()
-                yield endpoint.cuda.memcpy_async(
-                    vbuf.sub(0, n), tbuf.sub(0, n),
-                    stream=res.d2h, label=f"d2h[{i}]",
-                )
-                res.tbufs.release(tbuf)
             else:
-                # Ablation: no offload -- strided PCIe 2-D copy per chunk
-                # ("D2H nc2c", one DMA transaction per row).
-                vbuf = yield endpoint.send_vbufs.acquire()
-                yield self._strided_pcie_chunk(
-                    endpoint, res.d2h, CopyKind.D2H, buf, dtype, count, lo, hi,
-                    vbuf, i,
-                )
+                tbuf = None
+                if self.config.use_gpu_offload:
+                    tbuf = yield from self._acquire_tbuf(endpoint, res)
+                if tbuf is None:
+                    # No offload (ablation), or the recovery layer degraded
+                    # this chunk to the host-style path when the tbuf pool
+                    # timed out: strided PCIe 2-D copy straight into the
+                    # vbuf ("D2H nc2c", one DMA transaction per row).
+                    vbuf = yield from _proto.acquire_vbuf(
+                        endpoint, endpoint.send_vbufs
+                    )
+                    yield self._strided_pcie_chunk(
+                        endpoint, res.d2h, CopyKind.D2H, buf, dtype, count,
+                        lo, hi, vbuf, i,
+                    )
+                elif tplan is not None:
+                    # Plan replay. The tbuf is still the device-side flow
+                    # control token (same acquire/release points, so the
+                    # schedule is unchanged), but the gather lands straight
+                    # in the vbuf at D2H completion instead of staging
+                    # through device memory twice.
+                    cp = tplan.chunks[i]
+                    yield res.pack.enqueue(
+                        endpoint.cuda.gpu.exec_engine, costs["pack"][i], None,
+                        label=cp.pack_label,
+                    )
+                    vbuf = yield from _proto.acquire_vbuf(
+                        endpoint, endpoint.send_vbufs
+                    )
+                    yield res.d2h.enqueue(
+                        endpoint.cuda.gpu.engine_for(CopyKind.D2H),
+                        costs["d2h"][i],
+                        lambda cp=cp, vbuf=vbuf: cp.gather_into(buf, vbuf.view()),
+                        label=cp.d2h_label,
+                    )
+                    res.tbufs.release(tbuf)
+                else:
+                    # The paper's design: pack on the GPU, contiguous D2H.
+                    yield gpu_pack_chunk(
+                        endpoint.cuda, buf, dtype, count, lo, hi, tbuf, res.pack
+                    )
+                    vbuf = yield from _proto.acquire_vbuf(
+                        endpoint, endpoint.send_vbufs
+                    )
+                    yield endpoint.cuda.memcpy_async(
+                        vbuf.sub(0, n), tbuf.sub(0, n),
+                        stream=res.d2h, label=f"d2h[{i}]",
+                    )
+                    res.tbufs.release(tbuf)
             rb = yield from _proto.await_grant(state, i)
             if state.chunk_bytes != chunk:
                 raise MpiError(
@@ -237,7 +253,9 @@ class GpuNcEngine:
                     f"the sender pipelined at {chunk}; configure matching "
                     "vbuf/chunk sizes on both worlds"
                 )
-            yield endpoint.hca.rdma_write(vbuf.sub(0, n), rb)
+            yield from _proto.rdma_write_safe(endpoint, vbuf.sub(0, n), rb)
+            if rec is not None:
+                state.fin_sent.add(i)
             yield endpoint.post_control(
                 envelope.dst, {"type": "fin", "ssn": ssn, "chunk": i}
             )
@@ -248,12 +266,39 @@ class GpuNcEngine:
             for i in range(nchunks)
         ]
         yield env.all_of(procs)
-        del endpoint.send_states[ssn]
+        _proto.retire_send_state(endpoint, ssn)
         endpoint.stats.note_send("gpu", total)
         endpoint.stats.chunks_sent += nchunks
         req._complete(
             Status(source=endpoint.rank, tag=envelope.tag, count_bytes=total)
         )
+
+    def _acquire_tbuf(self, endpoint, res):
+        """Acquire a device staging chunk; None = degrade (a generator).
+
+        With recovery armed, a tbuf that cannot be had within
+        ``staging_timeout`` degrades this chunk from the GPU-offload path
+        to the host-style strided-PCIe path instead of blocking the
+        pipeline indefinitely (the ISSUE's degradation ladder). Disarmed,
+        this is exactly the plain blocking acquire.
+        """
+        rec = endpoint.recovery
+        if rec is None or not rec.degrade_enabled:
+            tbuf = yield res.tbufs.acquire()
+            return tbuf
+        env = endpoint.env
+        get = res.tbufs.acquire()
+        yield env.any_of([get, env.timeout(rec.staging_timeout)])
+        if get.processed:
+            return get.value
+        res.tbufs.cancel(get)
+        PERF.bump("degrade_to_host")
+        endpoint.stats.degrades += 1
+        endpoint.tracer.record_fault(
+            env.now, "recovery:degrade", src=endpoint.node.node_id,
+            rank=endpoint.rank,
+        )
+        return None
 
     def _strided_pcie_chunk(
         self, endpoint, stream, kind, user_buf, dtype, count, lo, hi, staging, i
@@ -316,7 +361,7 @@ class GpuNcEngine:
             name=f"gpu-granter:rank{endpoint.rank}",
         )
         yield state.done
-        del endpoint.recv_states[rts.ssn]
+        _proto.retire_recv_state(endpoint, rts.ssn)
         endpoint.stats.note_recv(total)
         req._complete(state.status)
 
@@ -337,46 +382,50 @@ class GpuNcEngine:
                     stream=res.h2d, label=f"h2d[{i}]",
                 )
                 state.release_staging(i)
-            elif rplan is not None:
-                # Plan replay: the scatter into the user buffer is fused
-                # into the H2D completion -- it must run before
-                # release_staging recycles the vbuf. The unpack op then
-                # charges pure device time with no byte movement left to
-                # do.
-                cp = rplan.chunks[i]
-                tbuf = yield res.tbufs.acquire()
-                yield res.h2d.enqueue(
-                    endpoint.cuda.gpu.engine_for(CopyKind.H2D),
-                    rcosts["h2d"][i],
-                    lambda cp=cp, vbuf=vbuf: cp.scatter_from(vbuf.view(), req.buf),
-                    label=cp.h2d_label,
-                )
-                state.release_staging(i)
-                yield res.unpack.enqueue(
-                    endpoint.cuda.gpu.exec_engine, rcosts["pack"][i], None,
-                    label=cp.unpack_label,
-                )
-                res.tbufs.release(tbuf)
-            elif self.config.use_gpu_offload:
-                tbuf = yield res.tbufs.acquire()
-                yield endpoint.cuda.memcpy_async(
-                    tbuf.sub(0, n), vbuf.sub(0, n),
-                    stream=res.h2d, label=f"h2d[{i}]",
-                )
-                # The vbuf is drained as soon as the H2D completes; the
-                # unpack then runs entirely inside the device.
-                state.release_staging(i)
-                yield gpu_unpack_chunk(
-                    endpoint.cuda, tbuf, req.datatype, req.count, lo, hi,
-                    req.buf, res.unpack,
-                )
-                res.tbufs.release(tbuf)
             else:
-                yield self._strided_pcie_chunk(
-                    endpoint, res.h2d, CopyKind.H2D, req.buf, req.datatype,
-                    req.count, lo, hi, vbuf, i,
-                )
-                state.release_staging(i)
+                tbuf = None
+                if self.config.use_gpu_offload:
+                    tbuf = yield from self._acquire_tbuf(endpoint, res)
+                if tbuf is None:
+                    # No offload, or recovery-layer degradation: scatter
+                    # straight out of the vbuf over PCIe.
+                    yield self._strided_pcie_chunk(
+                        endpoint, res.h2d, CopyKind.H2D, req.buf, req.datatype,
+                        req.count, lo, hi, vbuf, i,
+                    )
+                    state.release_staging(i)
+                elif rplan is not None:
+                    # Plan replay: the scatter into the user buffer is fused
+                    # into the H2D completion -- it must run before
+                    # release_staging recycles the vbuf. The unpack op then
+                    # charges pure device time with no byte movement left to
+                    # do.
+                    cp = rplan.chunks[i]
+                    yield res.h2d.enqueue(
+                        endpoint.cuda.gpu.engine_for(CopyKind.H2D),
+                        rcosts["h2d"][i],
+                        lambda cp=cp, vbuf=vbuf: cp.scatter_from(vbuf.view(), req.buf),
+                        label=cp.h2d_label,
+                    )
+                    state.release_staging(i)
+                    yield res.unpack.enqueue(
+                        endpoint.cuda.gpu.exec_engine, rcosts["pack"][i], None,
+                        label=cp.unpack_label,
+                    )
+                    res.tbufs.release(tbuf)
+                else:
+                    yield endpoint.cuda.memcpy_async(
+                        tbuf.sub(0, n), vbuf.sub(0, n),
+                        stream=res.h2d, label=f"h2d[{i}]",
+                    )
+                    # The vbuf is drained as soon as the H2D completes; the
+                    # unpack then runs entirely inside the device.
+                    state.release_staging(i)
+                    yield gpu_unpack_chunk(
+                        endpoint.cuda, tbuf, req.datatype, req.count, lo, hi,
+                        req.buf, res.unpack,
+                    )
+                    res.tbufs.release(tbuf)
             state.finish_chunk()
 
         endpoint.env.process(proc(), name=f"gpu-drain{i}:rank{endpoint.rank}")

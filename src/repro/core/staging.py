@@ -55,7 +55,37 @@ class TbufPool:
             )
         return self._store.get()
 
+    def cancel(self, get) -> bool:
+        """Withdraw a pending acquire (recovery-layer degradation path)."""
+        return self._store.cancel_get(get)
+
     def release(self, buf: BufferPtr) -> None:
-        if buf.nbytes != self.chunk_bytes:
-            raise ValueError("released buffer is not a pool tbuf")
+        """Return a tbuf chunk; validates provenance and double-release.
+
+        A matching size alone is not proof of ownership -- a foreign buffer
+        or a second release of the same chunk would grow the pool past
+        ``count`` and silently break the pipeline's device-side flow
+        control.
+        """
+        rel = buf.offset - self._backing.offset
+        if (
+            buf.arena is not self._backing.arena
+            or buf.nbytes != self.chunk_bytes
+            or rel < 0
+            or rel % self.chunk_bytes
+            or rel >= self.count * self.chunk_bytes
+        ):
+            raise ValueError(
+                f"released buffer (offset {buf.offset}, {buf.nbytes} bytes) "
+                "is not a chunk of this tbuf pool"
+            )
+        if rel // self.chunk_bytes >= self.count - self._spare:
+            raise ValueError(
+                "release of a tbuf chunk that was never handed out"
+            )
+        for item in self._store.items:
+            if item.offset == buf.offset:
+                raise ValueError(
+                    f"double release of tbuf chunk at offset {buf.offset}"
+                )
         self._store.put_nowait(buf)

@@ -27,6 +27,7 @@ class Cluster:
         env: Optional[Environment] = None,
         tracer: Optional[Tracer] = None,
         functional: bool = True,
+        faults=None,
     ):
         if num_nodes < 1:
             raise ValueError("cluster needs at least one node")
@@ -40,9 +41,13 @@ class Cluster:
         ]
         # The fabric wires an HCA into every node (imported lazily: repro.ib
         # builds on repro.hw, so importing it at module scope would cycle).
+        # ``faults`` is an optional repro.ib.faults.FaultPlan applied by the
+        # fabric's injector.
         from ..ib.fabric import Fabric
 
-        self.fabric = Fabric(self.env, self.cfg, self.nodes, tracer=self.tracer)
+        self.fabric = Fabric(
+            self.env, self.cfg, self.nodes, tracer=self.tracer, faults=faults
+        )
 
     @property
     def num_nodes(self) -> int:

@@ -1,6 +1,17 @@
 """InfiniBand verbs and fabric models (RDMA write, control messages)."""
 
 from .fabric import Fabric
+from .faults import CancelToken, FaultInjector, FaultPlan, FaultSpec, RdmaError
 from .verbs import HCA, ControlMessage, RemoteBuffer
 
-__all__ = ["Fabric", "HCA", "RemoteBuffer", "ControlMessage"]
+__all__ = [
+    "Fabric",
+    "HCA",
+    "RemoteBuffer",
+    "ControlMessage",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "RdmaError",
+    "CancelToken",
+]

@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, List, Optional
 
 from ..sim import Environment, Tracer
 from ..hw.config import HardwareConfig
+from .faults import FaultInjector, FaultPlan
 from .verbs import HCA
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -22,7 +23,13 @@ __all__ = ["Fabric"]
 
 
 class Fabric:
-    """Creates and holds one HCA per node."""
+    """Creates and holds one HCA per node.
+
+    A :class:`~repro.ib.faults.FaultPlan` makes the fabric imperfect: the
+    plan's injector is consulted by every HCA on each control message and
+    RDMA operation. Without one (the default) ``self.injector`` is None and
+    the verbs layer takes its unmodified fast paths.
+    """
 
     def __init__(
         self,
@@ -30,11 +37,17 @@ class Fabric:
         cfg: HardwareConfig,
         nodes: List["Node"],
         tracer: Optional[Tracer] = None,
+        faults: Optional[FaultPlan] = None,
     ):
         self.env = env
         self.cfg = cfg
         self.nodes = nodes
         self.tracer = tracer if tracer is not None else Tracer()
+        self.faults = faults
+        self.injector: Optional[FaultInjector] = (
+            FaultInjector(env, faults, self.tracer)
+            if faults is not None and faults.active else None
+        )
         self.hcas: List[HCA] = [
             HCA(env, cfg, node, self, self.tracer) for node in nodes
         ]

@@ -16,11 +16,12 @@ The model keeps the properties the paper's protocol relies on:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from ..sim import Environment, Event, Store, Tracer
 from ..hw.config import HardwareConfig
 from ..hw.memory import BufferPtr
+from .faults import CancelToken, RdmaError
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..hw.node import Node
@@ -83,6 +84,7 @@ class HCA:
         #: f-strings per control message is measurable on the hot path.
         self._ctl_labels: Dict[int, tuple] = {}
         self._loopback_label = f"ctl-loopback:{self.name}"
+        self._loopback_pname = f"ctl-loopback {self.name}"
         node.hca = self
 
     # -- registration ---------------------------------------------------------------
@@ -104,13 +106,23 @@ class HCA:
         return BufferPtr(self.node.memory, rbuf.offset, rbuf.nbytes)
 
     # -- verbs ------------------------------------------------------------------------
-    def rdma_write(self, src: BufferPtr, dst: RemoteBuffer) -> Event:
+    def rdma_write(
+        self,
+        src: BufferPtr,
+        dst: RemoteBuffer,
+        token: Optional[CancelToken] = None,
+    ) -> Event:
         """Post an RDMA write; returns the local completion event.
 
-        The destination bytes become visible at local-completion time plus
-        one wire latency; remote visibility is what an RDMA-finish control
-        message (sent after this completes) is ordered behind, matching the
-        paper's protocol.
+        Local completion fires when the HCA has finished reading the source
+        buffer (TX done: the buffer is safe to reuse); the destination bytes
+        become visible one wire latency later. A FIN control message posted
+        after local completion serializes behind the data on the same
+        reliable connection, so it can never announce bytes that have not
+        landed -- matching the paper's protocol.
+
+        ``token`` (retry layer only): cancelling it abandons the attempt --
+        an in-flight write will not touch remote memory nor complete.
         """
         if src.space != "host":
             raise ValueError("RDMA source must be registered host memory")
@@ -120,36 +132,74 @@ class HCA:
             )
         done = self.env.event(label=f"rdma:{self.name}->{dst.node_id}")
         self.env.process(
-            self._rdma_proc(src, dst, done), name=f"rdma {self.name}->{dst.node_id}"
+            self._rdma_proc(src, dst, done, token),
+            name=f"rdma {self.name}->{dst.node_id}",
         )
         return done
 
-    def _rdma_proc(self, src: BufferPtr, dst: RemoteBuffer, done: Event):
+    def _rdma_proc(
+        self,
+        src: BufferPtr,
+        dst: RemoteBuffer,
+        done: Event,
+        token: Optional[CancelToken] = None,
+    ):
         cfg = self.cfg
+        inj = self.fabric.injector
+        act = (
+            inj.on_rdma("rdma_write", self.node.node_id, dst.node_id, src.nbytes)
+            if inj is not None else None
+        )
         with self.tx.request() as req:
             yield req
             start = self.env.now
             wire = cfg.net_post_overhead + src.nbytes / cfg.net_bandwidth
+            if act is not None and act.stall:
+                # Fault: the TX engine wedges before streaming the payload.
+                yield self.env.timeout(act.stall)
             yield self.env.timeout(wire)
             if self.tracer.enabled:
                 self.tracer.record(
                     start, self.env.now, f"{self.name}.tx", "rdma_write",
                     bytes=src.nbytes, dst=dst.node_id,
                 )
-        # Wire latency to remote memory; then the data is visible there.
+        if token is not None and token.cancelled:
+            # Abandoned by the retry layer while stalled in TX: never
+            # completes and never touches remote memory.
+            return
+        if act is not None and act.fail:
+            done.fail(RdmaError(
+                f"rdma_write {self.name}->{dst.node_id} "
+                f"({src.nbytes} bytes) completed in error"
+            ))
+            return
+        # Local completion: the HCA has read the source buffer, the caller
+        # may reuse it. The payload snapshot taken here is what lands
+        # remotely one wire latency later.
+        data = src.view().copy() if self.env.functional else None
+        done.succeed()
         yield self.env.timeout(cfg.net_latency)
-        if self.env.functional:
+        if token is not None and token.cancelled:
+            return
+        if data is not None:
             target_node = self.fabric.nodes[dst.node_id]
             dst_ptr = BufferPtr(target_node.memory, dst.offset, dst.nbytes)
-            dst_ptr.view()[:] = src.view()
-        done.succeed()
+            dst_ptr.view()[:] = data
 
-    def rdma_read(self, dst: BufferPtr, src: RemoteBuffer) -> Event:
+    def rdma_read(
+        self,
+        dst: BufferPtr,
+        src: RemoteBuffer,
+        token: Optional[CancelToken] = None,
+    ) -> Event:
         """Post an RDMA read: fetch remote host memory into a local buffer.
 
         The request rides to the target whose HCA *responder* streams the
         data back; the target CPU is not involved. Completion fires at the
         origin once the data has landed.
+
+        ``token`` (retry layer only): cancelling it abandons the attempt --
+        an in-flight read will not write the local buffer nor complete.
         """
         if dst.space != "host":
             raise ValueError("RDMA read destination must be host memory")
@@ -159,13 +209,24 @@ class HCA:
             )
         done = self.env.event(label=f"rdma-read:{self.name}<-{src.node_id}")
         self.env.process(
-            self._rdma_read_proc(dst, src, done),
+            self._rdma_read_proc(dst, src, done, token),
             name=f"rdma-read {self.name}<-{src.node_id}",
         )
         return done
 
-    def _rdma_read_proc(self, dst: BufferPtr, src: RemoteBuffer, done: Event):
+    def _rdma_read_proc(
+        self,
+        dst: BufferPtr,
+        src: RemoteBuffer,
+        done: Event,
+        token: Optional[CancelToken] = None,
+    ):
         cfg = self.cfg
+        inj = self.fabric.injector
+        act = (
+            inj.on_rdma("rdma_read", self.node.node_id, src.node_id, src.nbytes)
+            if inj is not None else None
+        )
         # Post the read request (small work request on our TX queue).
         with self.tx.request() as req:
             yield req
@@ -176,6 +237,9 @@ class HCA:
         with responder.tx.request() as req:
             yield req
             start = self.env.now
+            if act is not None and act.stall:
+                # Fault: the responder wedges before streaming the payload.
+                yield self.env.timeout(act.stall)
             yield self.env.timeout(src.nbytes / cfg.net_bandwidth)
             if responder.tracer.enabled:
                 responder.tracer.record(
@@ -184,6 +248,14 @@ class HCA:
                     bytes=src.nbytes, origin=self.node.node_id,
                 )
         yield self.env.timeout(cfg.net_latency)
+        if token is not None and token.cancelled:
+            return
+        if act is not None and act.fail:
+            done.fail(RdmaError(
+                f"rdma_read {self.name}<-{src.node_id} "
+                f"({src.nbytes} bytes) completed in error"
+            ))
+            return
         if self.env.functional:
             src_node = self.fabric.nodes[src.node_id]
             src_ptr = BufferPtr(src_node.memory, src.offset, src.nbytes)
@@ -199,7 +271,10 @@ class HCA:
         if dst_node == self.node.node_id:
             # Loopback: skip the wire, deliver through host memory latency.
             done = self.env.event(label=self._loopback_label)
-            self.env.process(self._loopback_proc(payload, done))
+            self.env.process(
+                self._loopback_proc(payload, size_bytes, done),
+                name=self._loopback_pname,
+            )
             return done
         labels = self._ctl_labels.get(dst_node)
         if labels is None:
@@ -212,14 +287,25 @@ class HCA:
         )
         return done
 
-    def _loopback_proc(self, payload: Any, done: Event):
-        yield self.env.timeout(self.cfg.net_control_overhead)
+    def _loopback_proc(self, payload: Any, size: int, done: Event):
+        # Self-sends bypass the fabric (and fault injection) but still pay
+        # the control-path CPU overhead plus a host-memory copy of the
+        # message body.
+        cfg = self.cfg
+        yield self.env.timeout(
+            cfg.net_control_overhead + size / cfg.host_memcpy_bandwidth
+        )
         msg = ControlMessage(self.node.node_id, self.node.node_id, payload)
         yield self.inbox.put(msg)
         done.succeed()
 
     def _control_proc(self, dst_node: int, payload: Any, size: int, done: Event):
         cfg = self.cfg
+        inj = self.fabric.injector
+        act = (
+            inj.on_control(self.node.node_id, dst_node, payload)
+            if inj is not None else None
+        )
         with self.tx.request() as req:
             yield req
             start = self.env.now
@@ -234,7 +320,18 @@ class HCA:
                     start, self.env.now, f"{self.name}.tx", "control",
                     dst=dst_node,
                 )
+        # Local completion does not imply delivery: a dropped message still
+        # completes at the sender, exactly like a real unacked control path.
         done.succeed()
-        yield self.env.timeout(cfg.net_latency)
+        if act is not None and act.drop:
+            return
+        delay = cfg.net_latency + (act.delay if act is not None else 0.0)
+        yield self.env.timeout(delay)
         msg = ControlMessage(self.node.node_id, dst_node, payload)
         yield self.fabric.hcas[dst_node].inbox.put(msg)
+        if act is not None and act.duplicate:
+            # The duplicate trails the original by one control overhead.
+            yield self.env.timeout(cfg.net_control_overhead)
+            yield self.fabric.hcas[dst_node].inbox.put(
+                ControlMessage(self.node.node_id, dst_node, payload)
+            )

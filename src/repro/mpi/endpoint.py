@@ -47,6 +47,9 @@ class EndpointStats:
         "msgs_received", "bytes_received",
         "chunks_sent", "ctrl_messages",
         "send_vbuf_peak", "recv_vbuf_peak", "tbuf_peak",
+        # Recovery-layer counters (nonzero only under faults/contention).
+        "rdma_retries", "rts_retries", "nacks_sent", "fins_resent",
+        "dups_suppressed", "degrades",
     )
 
     def __init__(self):
@@ -128,9 +131,36 @@ class VbufPool:
         self._peak = max(self._peak, in_use)
         return get
 
+    def cancel(self, get) -> bool:
+        """Withdraw a pending acquire (recovery-layer timeout path)."""
+        return self._store.cancel_get(get)
+
     def release(self, buf: BufferPtr) -> None:
-        if buf.nbytes != self.buf_bytes:
-            raise MpiError("released buffer is not a pool vbuf")
+        """Return a vbuf; validates provenance and double-release.
+
+        Mirrors :meth:`repro.core.staging.TbufPool.release`: a foreign
+        buffer of the right size or a double-release would grow the pool
+        past ``count`` and silently break the protocol's flow control.
+        """
+        rel = buf.offset - self._backing.offset
+        if (
+            buf.arena is not self._backing.arena
+            or buf.nbytes != self.buf_bytes
+            or rel < 0
+            or rel % self.buf_bytes
+            or rel >= self.count * self.buf_bytes
+        ):
+            raise MpiError(
+                f"released buffer (offset {buf.offset}, {buf.nbytes} bytes) "
+                "is not a vbuf of this pool"
+            )
+        if rel // self.buf_bytes >= self.count - self._spare:
+            raise MpiError("release of a vbuf that was never handed out")
+        for item in self._store.items:
+            if item.offset == buf.offset:
+                raise MpiError(
+                    f"double release of vbuf at offset {buf.offset}"
+                )
         self._store.put_nowait(buf)
 
 
@@ -174,6 +204,21 @@ class Endpoint:
         self.send_states: Dict[tuple, Any] = {}
         #: receiver-side rendezvous transactions: ssn -> state object
         self.recv_states: Dict[tuple, Any] = {}
+        #: Recovery policy (:class:`repro.core.config.RecoveryConfig`) or
+        #: None. Armed by the world when the cluster carries a FaultPlan or
+        #: on request; every recovery code path is gated on it so the
+        #: disarmed schedule is bit-identical to the pre-recovery one.
+        self.recovery: Optional[Any] = None
+        #: SSNs whose RTS this endpoint has already processed (armed only;
+        #: duplicate-RTS suppression must engage before matching).
+        self.rts_seen: set = set()
+        #: Completed receive-side SSNs (armed only; late duplicate FINs for
+        #: these are suppressed instead of raising).
+        self.retired_ssns: set = set()
+        #: Completed send-side transactions kept for FIN retransmission
+        #: (armed only): ssn -> SendState. A receiver NACK can arrive after
+        #: the sender finished if the dropped message was a final FIN.
+        self.sent_history: Dict[tuple, Any] = {}
         self._next_seq = 0
         #: rank -> node mapping, filled in by the world.
         self.rank_to_node: Dict[int, int] = {}

@@ -34,7 +34,9 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 from ..hw.memory import BufferPtr
+from ..ib.faults import CancelToken, RdmaError
 from ..ib.verbs import RemoteBuffer
+from ..perf.stats import PERF
 from ..sim import Event, Store
 from .datatype import Datatype
 from .endpoint import Endpoint
@@ -97,6 +99,8 @@ class RecvState:
     next_grant: int = 0
     #: drained-chunk tokens feeding the granter (staged path)
     drained: Any = None
+    #: chunk indices whose FIN has been processed (duplicate-FIN guard)
+    fin_seen: set = field(default_factory=set)
 
     def chunk_range(self, index: int) -> tuple:
         lo = index * self.chunk_bytes
@@ -137,24 +141,44 @@ class SendState:
     """
 
     endpoint: Endpoint
+    #: this transaction's SSN and destination rank (for retransmits)
+    ssn: Any = None
+    dst: int = -1
     #: RDMA windows granted so far, in chunk order.
     grants: List = field(default_factory=list)
     #: chunk size the receiver chose; None until the first CTS.
     chunk_bytes: Optional[int] = None
     #: re-armed every time new grants arrive
     grant_event: Event = None  # type: ignore[assignment]
+    #: chunk indices whose FIN has been posted (recovery: FIN replay pool)
+    fin_sent: set = field(default_factory=set)
 
     def __post_init__(self) -> None:
         self.grant_event = self.endpoint.env.event(label="grants")
 
     def add_grants(self, start: int, chunks: List, chunk_bytes: int) -> None:
+        """Accept a CTS grant window; duplicates are suppressed.
+
+        Windows from one receiver arrive in order (reliable connection),
+        but under faults a window -- or part of one, when the watchdog
+        re-grants per chunk -- may be a replay of grants already held. A
+        window starting past the held prefix is still a protocol error.
+        """
         if self.chunk_bytes is None:
             self.chunk_bytes = chunk_bytes
-        if start != len(self.grants):
+        have = len(self.grants)
+        if start > have:
             raise MpiError(
-                f"out-of-order CTS window: start {start}, have "
-                f"{len(self.grants)} grants"
+                f"out-of-order CTS window: start {start}, have {have} grants"
             )
+        if start + len(chunks) <= have:
+            PERF.bump("dup_cts_suppressed")
+            self.endpoint.stats.dups_suppressed += 1
+            return
+        if start < have:
+            PERF.bump("dup_cts_suppressed")
+            self.endpoint.stats.dups_suppressed += 1
+            chunks = chunks[have - start:]
         self.grants.extend(chunks)
         fired, self.grant_event = self.grant_event, self.endpoint.env.event(
             label="grants"
@@ -293,6 +317,9 @@ def install_protocol(endpoint: Endpoint) -> None:
     endpoint.register_handler("rts", _on_rts)
     endpoint.register_handler("cts", _on_cts)
     endpoint.register_handler("fin", _on_fin)
+    # Receiver-watchdog NACKs (recovery layer). Registering the handler is
+    # schedule-neutral: NACKs are only ever *sent* when recovery is armed.
+    endpoint.register_handler("nack", _on_nack)
 
 
 # ---------------------------------------------------------------------------
@@ -370,8 +397,20 @@ def _dispatch_match(endpoint: Endpoint, posted: PostedRecv, msg: ArrivedMessage)
 
 
 def _on_rts(endpoint: Endpoint, payload: dict) -> None:
+    ssn = payload["ssn"]
+    if endpoint.recovery is not None:
+        # Duplicate-SSN suppression must engage *before* matching: a
+        # replayed RTS re-entering the match lists would consume a second
+        # posted receive. Checked ahead of the recv_states lookup because
+        # the transaction record is created one (zero-delay) event after
+        # the match.
+        if ssn in endpoint.rts_seen:
+            PERF.bump("dup_rts_suppressed")
+            endpoint.stats.dups_suppressed += 1
+            return
+        endpoint.rts_seen.add(ssn)
     rts = RtsInfo(
-        ssn=payload["ssn"],
+        ssn=ssn,
         envelope=payload["envelope"],
         total=payload["total"],
         chunk_pref=payload["chunk_pref"],
@@ -385,9 +424,15 @@ def _on_rts(endpoint: Endpoint, payload: dict) -> None:
 
 
 def _on_cts(endpoint: Endpoint, payload: dict) -> None:
-    state: SendState = endpoint.send_states.get(payload["ssn"])
+    ssn = payload["ssn"]
+    state: SendState = endpoint.send_states.get(ssn)
     if state is None:
-        raise MpiError(f"CTS for unknown SSN {payload['ssn']}")
+        if endpoint.recovery is not None and ssn in endpoint.sent_history:
+            # A replayed grant window arriving after the send completed.
+            PERF.bump("dup_cts_suppressed")
+            endpoint.stats.dups_suppressed += 1
+            return
+        raise MpiError(f"CTS for unknown SSN {ssn}")
     state.add_grants(payload["start"], payload["chunks"], payload["chunk_bytes"])
 
 
@@ -395,8 +440,273 @@ def _on_fin(endpoint: Endpoint, payload: dict) -> None:
     ssn = payload["ssn"]
     state: RecvState = endpoint.recv_states.get(ssn)
     if state is None:
+        if endpoint.recovery is not None and ssn in endpoint.retired_ssns:
+            # A duplicate FIN straggling in after the transaction retired.
+            PERF.bump("dup_fin_suppressed")
+            endpoint.stats.dups_suppressed += 1
+            return
         raise MpiError(f"FIN for unknown SSN {ssn}")
-    state.on_fin(state, payload["chunk"])
+    chunk = payload["chunk"]
+    if chunk in state.fin_seen:
+        # Duplicate FIN for a live transaction (duplicated message or a
+        # watchdog-triggered replay that crossed the original). Processing
+        # it twice would double-retire the chunk.
+        PERF.bump("dup_fin_suppressed")
+        endpoint.stats.dups_suppressed += 1
+        return
+    state.fin_seen.add(chunk)
+    state.on_fin(state, chunk)
+
+
+def _on_nack(endpoint: Endpoint, payload: dict) -> None:
+    """Receiver watchdog asked for FIN replays (recovery layer only)."""
+    ssn = payload["ssn"]
+    state: SendState = endpoint.send_states.get(ssn)
+    if state is None:
+        state = endpoint.sent_history.get(ssn)
+    if state is None:
+        return
+    for i in payload["chunks"]:
+        if i in state.fin_sent:
+            PERF.bump("fin_resent")
+            endpoint.stats.fins_resent += 1
+            endpoint.post_control(
+                state.dst, {"type": "fin", "ssn": ssn, "chunk": i}
+            )
+        # Chunks not yet FINed are still in flight on the sender; the
+        # watchdog's re-granted CTS windows (sent just before the NACK)
+        # unblock them if their grants were lost.
+
+
+# ---------------------------------------------------------------------------
+# Recovery layer (armed via endpoint.recovery; see core.config.RecoveryConfig)
+# ---------------------------------------------------------------------------
+
+def _backoff(rec, attempt: int) -> float:
+    """Capped exponential backoff for retry ``attempt`` (1-based)."""
+    return min(rec.backoff_cap, rec.backoff_base * (1 << (attempt - 1)))
+
+
+def verbs_retry(endpoint: Endpoint, rec, post, what: str = "rdma"):
+    """Run an RDMA op under a completion timeout with retransmit (a generator).
+
+    ``post(token)`` posts one attempt and returns its local completion
+    event. On timeout or completion-in-error the attempt's token is
+    cancelled (a stale in-flight write must never land in a landing buffer
+    that has been re-granted) and the op is re-posted after capped
+    exponential backoff, up to ``rec.max_attempts``.
+    """
+    env = endpoint.env
+    attempt = 0
+    while True:
+        token = CancelToken()
+        done = post(token)
+        ok = True
+        try:
+            yield env.any_of([done, env.timeout(rec.rdma_timeout)])
+            ok = done.processed
+        except RdmaError:
+            ok = False
+        if ok:
+            return
+        token.cancel()
+        attempt += 1
+        PERF.bump("rdma_retry")
+        endpoint.stats.rdma_retries += 1
+        endpoint.tracer.record_fault(
+            env.now, "recovery:rdma_retry", src=endpoint.node.node_id,
+            attempt=attempt, what=what,
+        )
+        if attempt >= rec.max_attempts:
+            raise MpiError(
+                f"{what}: no successful completion after {attempt} attempts"
+            )
+        yield env.timeout(_backoff(rec, attempt))
+
+
+def rdma_write_safe(endpoint: Endpoint, src, rb):
+    """RDMA-write a chunk, with retry when recovery is armed (a generator)."""
+    rec = endpoint.recovery
+    if rec is None:
+        yield endpoint.hca.rdma_write(src, rb)
+    else:
+        yield from verbs_retry(
+            endpoint, rec,
+            lambda token: endpoint.hca.rdma_write(src, rb, token=token),
+            what="rdma_write",
+        )
+
+
+def rdma_read_safe(endpoint: Endpoint, dst, rb):
+    """RDMA-read into ``dst``, with retry when recovery is armed (a
+    generator). The one-sided Get path uses this."""
+    rec = endpoint.recovery
+    if rec is None:
+        yield endpoint.hca.rdma_read(dst, rb)
+    else:
+        yield from verbs_retry(
+            endpoint, rec,
+            lambda token: endpoint.hca.rdma_read(dst, rb, token=token),
+            what="rdma_read",
+        )
+
+
+def await_cts(endpoint: Endpoint, state: SendState, rts_payload: dict, rec):
+    """Wait for the first CTS, re-posting the RTS on timeout (a generator).
+
+    Covers a lost RTS (the receiver holds no state at all; the re-post
+    re-creates it) -- a lost *first* CTS is recovered by the receiver
+    watchdog's grant replay. Returns the negotiated chunk size.
+    """
+    env = endpoint.env
+    attempt = 0
+    while state.chunk_bytes is None:
+        ev = state.grant_event
+        yield env.any_of([ev, env.timeout(rec.rts_timeout)])
+        if state.chunk_bytes is not None:
+            break
+        if ev.processed:
+            continue
+        attempt += 1
+        if attempt >= rec.max_attempts:
+            raise MpiError(
+                f"rendezvous {state.ssn}: no CTS after {attempt} RTS attempts"
+            )
+        PERF.bump("rts_retry")
+        endpoint.stats.rts_retries += 1
+        endpoint.tracer.record_fault(
+            env.now, "recovery:rts_retry", src=endpoint.node.node_id,
+            attempt=attempt,
+        )
+        # Duplicate RTSes are suppressed by SSN at the receiver, so the
+        # replay needs no send_order slot.
+        yield endpoint.post_control(state.dst, rts_payload)
+    return state.chunk_bytes
+
+
+def acquire_vbuf(endpoint: Endpoint, pool):
+    """Acquire a vbuf; bounded wait + retry when recovery is armed.
+
+    Vbufs are needed by *both* the GPU-offload and the host paths, so
+    unlike tbufs there is nothing to degrade to -- instead a starved pool
+    turns from a silent hang into a bounded, diagnosable failure.
+    """
+    rec = endpoint.recovery
+    if rec is None:
+        vbuf = yield pool.acquire()
+        return vbuf
+    env = endpoint.env
+    attempt = 0
+    while True:
+        get = pool.acquire()
+        yield env.any_of([get, env.timeout(rec.staging_timeout * (attempt + 1))])
+        if get.processed:
+            return get.value
+        pool.cancel(get)
+        attempt += 1
+        PERF.bump("vbuf_wait_timeout")
+        if attempt >= rec.max_attempts:
+            raise MpiError(
+                f"rank {endpoint.rank}: vbuf pool starved for "
+                f"{attempt} waits (flow-control leak?)"
+            )
+        yield env.timeout(_backoff(rec, attempt))
+
+
+def _pending_chunks(state: RecvState) -> List[int]:
+    """Granted chunks whose FIN has not been processed (watchdog view)."""
+    if state.staging is None:
+        return [i for i in range(state.nchunks) if i not in state.fin_seen]
+    return [i for i in sorted(state.staging) if i not in state.fin_seen]
+
+
+def _rebuild_grant(endpoint: Endpoint, state: RecvState, i: int):
+    """Re-register chunk ``i``'s landing window for a CTS replay."""
+    lo, hi = state.chunk_range(i)
+    if state.staging is None:
+        req = state.posted.request
+        base = (
+            int(req.datatype.segments_for_count(req.count).offsets[0])
+            if state.rts.total else 0
+        )
+        return endpoint.hca.register(req.buf.sub(base + lo, hi - lo))
+    vbuf = state.staging.get(i)
+    if vbuf is None:
+        return None
+    return endpoint.hca.register(vbuf.sub(0, hi - lo))
+
+
+def recv_watchdog(endpoint: Endpoint, state: RecvState, rec):
+    """Receiver-side progress watchdog (a generator; armed runs only).
+
+    Every ``watchdog_interval`` with no transaction progress it (a)
+    replays the CTS grant windows for granted-but-unfinished chunks --
+    recovering lost CTSes, since the sender suppresses the duplicates it
+    already holds -- and (b) NACKs those chunks so the sender replays any
+    FINs that were lost after delivery. ``watchdog_max_idle`` silent
+    periods fail the receive loudly instead of hanging.
+    """
+    env = endpoint.env
+    src = state.rts.envelope.src
+    idle = 0
+    last = None
+    while not state.done.processed:
+        yield env.any_of([state.done, env.timeout(rec.watchdog_interval)])
+        if state.done.processed:
+            return
+        progress = (state.remaining, len(state.fin_seen), state.next_grant)
+        if progress != last:
+            last = progress
+            idle = 0
+            continue
+        idle += 1
+        if idle > rec.watchdog_max_idle:
+            err = MpiError(
+                f"rendezvous {state.rts.ssn}: no receiver progress in "
+                f"{idle} watchdog periods ({state.remaining} chunks missing)"
+            )
+            state.posted.request._fail(err)
+            raise err
+        pending = _pending_chunks(state)
+        if not pending:
+            continue
+        endpoint.tracer.record_fault(
+            env.now, "recovery:watchdog_probe", src=endpoint.node.node_id,
+            pending=len(pending), idle=idle,
+        )
+        for i in pending:
+            rb = _rebuild_grant(endpoint, state, i)
+            if rb is not None:
+                PERF.bump("cts_resent")
+                endpoint.post_control(
+                    src,
+                    {
+                        "type": "cts",
+                        "ssn": state.rts.ssn,
+                        "start": i,
+                        "chunks": [rb],
+                        "chunk_bytes": state.chunk_bytes,
+                    },
+                )
+        PERF.bump("nack_sent")
+        endpoint.stats.nacks_sent += 1
+        endpoint.post_control(
+            src, {"type": "nack", "ssn": state.rts.ssn, "chunks": pending}
+        )
+
+
+def retire_send_state(endpoint: Endpoint, ssn) -> None:
+    """Drop a completed sender transaction, keeping it for FIN replay."""
+    state = endpoint.send_states.pop(ssn)
+    if endpoint.recovery is not None:
+        endpoint.sent_history[ssn] = state
+
+
+def retire_recv_state(endpoint: Endpoint, ssn) -> None:
+    """Drop a completed receiver transaction, tombstoning its SSN."""
+    del endpoint.recv_states[ssn]
+    if endpoint.recovery is not None:
+        endpoint.retired_ssns.add(ssn)
 
 
 # ---------------------------------------------------------------------------
@@ -405,26 +715,28 @@ def _on_fin(endpoint: Endpoint, payload: dict) -> None:
 
 def _rdv_send_host(endpoint, envelope, buf, count, datatype, req):
     cfg = endpoint.cfg
+    rec = endpoint.recovery
     total = envelope.size_bytes
     ssn = endpoint.new_ssn()
     contiguous = datatype.is_contiguous
     chunk_pref = 0 if contiguous else endpoint.send_vbufs.buf_bytes
-    state = SendState(endpoint=endpoint)
+    state = SendState(endpoint=endpoint, ssn=ssn, dst=envelope.dst)
     endpoint.send_states[ssn] = state
+    rts_payload = {
+        "type": "rts",
+        "ssn": ssn,
+        "envelope": envelope,
+        "total": total,
+        "chunk_pref": chunk_pref,
+        "mode": "host",
+    }
     with endpoint.send_order.request() as order:
         yield order
-        yield endpoint.post_control(
-            envelope.dst,
-            {
-                "type": "rts",
-                "ssn": ssn,
-                "envelope": envelope,
-                "total": total,
-                "chunk_pref": chunk_pref,
-                "mode": "host",
-            },
-        )
-    chunk_bytes = yield from await_chunk_bytes(state)
+        yield endpoint.post_control(envelope.dst, rts_payload)
+    if rec is None:
+        chunk_bytes = yield from await_chunk_bytes(state)
+    else:
+        chunk_bytes = yield from await_cts(endpoint, state, rts_payload, rec)
     nchunks = max(1, math.ceil(total / chunk_bytes))
 
     if contiguous:
@@ -435,7 +747,9 @@ def _rdv_send_host(endpoint, envelope, buf, count, datatype, req):
             lo = i * chunk_bytes
             hi = min(lo + chunk_bytes, total)
             if hi > lo:
-                yield endpoint.hca.rdma_write(buf.sub(base + lo, hi - lo), rb)
+                yield from rdma_write_safe(endpoint, buf.sub(base + lo, hi - lo), rb)
+            if rec is not None:
+                state.fin_sent.add(i)
             yield endpoint.post_control(
                 envelope.dst, {"type": "fin", "ssn": ssn, "chunk": i}
             )
@@ -445,7 +759,7 @@ def _rdv_send_host(endpoint, envelope, buf, count, datatype, req):
             rb = yield from await_grant(state, i)
             lo = i * chunk_bytes
             hi = min(lo + chunk_bytes, total)
-            vbuf = yield endpoint.send_vbufs.acquire()
+            vbuf = yield from acquire_vbuf(endpoint, endpoint.send_vbufs)
             yield from endpoint.cpu_work(
                 host_pack_range_time(cfg, datatype, count, lo, hi), "pack:rdv"
             )
@@ -453,12 +767,14 @@ def _rdv_send_host(endpoint, envelope, buf, count, datatype, req):
                 # Gather straight into the staging vbuf: pack + stage copy
                 # fused into one movement (same bytes, half the traffic).
                 pack_range_into(buf, datatype, count, lo, hi, vbuf.view())
-            yield endpoint.hca.rdma_write(vbuf.sub(0, hi - lo), rb)
+            yield from rdma_write_safe(endpoint, vbuf.sub(0, hi - lo), rb)
+            if rec is not None:
+                state.fin_sent.add(i)
             yield endpoint.post_control(
                 envelope.dst, {"type": "fin", "ssn": ssn, "chunk": i}
             )
             endpoint.send_vbufs.release(vbuf)
-    del endpoint.send_states[ssn]
+    retire_send_state(endpoint, ssn)
     endpoint.stats.note_send("rndv", total)
     req._complete(Status(source=endpoint.rank, tag=envelope.tag, count_bytes=total))
 
@@ -515,6 +831,12 @@ def make_recv_state(
     if staged:
         state.drained = Store(endpoint.env, name=f"drained:{rts.ssn}")
     endpoint.recv_states[rts.ssn] = state
+    rec = endpoint.recovery
+    if rec is not None:
+        endpoint.env.process(
+            recv_watchdog(endpoint, state, rec),
+            name=f"rdv-watchdog:{rts.ssn}",
+        )
     return state
 
 
@@ -534,7 +856,7 @@ def staged_granter(endpoint: Endpoint, state: RecvState):
         while count > 0 and state.next_grant < state.nchunks:
             i = state.next_grant
             lo, hi = state.chunk_range(i)
-            vbuf = yield endpoint.recv_vbufs.acquire()
+            vbuf = yield from acquire_vbuf(endpoint, endpoint.recv_vbufs)
             state.staging[i] = vbuf
             grants.append(endpoint.hca.register(vbuf.sub(0, hi - lo)))
             state.next_grant += 1
@@ -603,7 +925,7 @@ def _rdv_recv_host(endpoint: Endpoint, posted: PostedRecv, rts: RtsInfo):
         )
 
     yield state.done
-    del endpoint.recv_states[rts.ssn]
+    retire_recv_state(endpoint, rts.ssn)
     endpoint.stats.note_recv(total)
     req._complete(state.status)
 

@@ -229,9 +229,18 @@ class Win:
         try:
             if tgt_dtype.is_contiguous:
                 window = self._target_window(target_rank, target_disp, nbytes)
-                ev = self.endpoint.hca.rdma_write(src.sub(0, nbytes), window)
-                self._pending.append(ev)
-                yield ev
+                if self.endpoint.recovery is None:
+                    ev = self.endpoint.hca.rdma_write(src.sub(0, nbytes), window)
+                    self._pending.append(ev)
+                    yield ev
+                else:
+                    # Retry path completes inline, so there is nothing left
+                    # for Fence/Unlock to flush.
+                    from .protocol import rdma_write_safe
+
+                    yield from rdma_write_safe(
+                        self.endpoint, src.sub(0, nbytes), window
+                    )
                 yield self.endpoint.post_control(
                     target_rank, {"type": f"rma_count:{self.win_id}"}
                 )
@@ -277,12 +286,16 @@ class Win:
             return
             yield  # pragma: no cover
         window = self._target_window(target_rank, target_disp, nbytes)
+        from .protocol import rdma_read_safe
+
         if origin.space == "host":
-            yield self.endpoint.hca.rdma_read(origin.sub(0, nbytes), window)
+            yield from rdma_read_safe(
+                self.endpoint, origin.sub(0, nbytes), window
+            )
         else:
             staged = self.endpoint.node.malloc_host(nbytes)
             try:
-                yield self.endpoint.hca.rdma_read(staged, window)
+                yield from rdma_read_safe(self.endpoint, staged, window)
                 yield from self.endpoint.cuda.memcpy(
                     origin.sub(0, nbytes), staged
                 )

@@ -65,6 +65,7 @@ class MpiWorld:
         gpu_config=None,
         vbuf_bytes: Optional[int] = None,
         vbuf_count: int = 256,
+        recovery=None,
     ):
         self.cluster = cluster
         self.size = nprocs if nprocs is not None else cluster.num_nodes
@@ -82,6 +83,18 @@ class MpiWorld:
         if vbuf_bytes is None:
             vbuf_bytes = gpu_config.chunk_bytes
 
+        # Recovery policy: ``None`` auto-arms a default RecoveryConfig iff
+        # the cluster injects faults (a fabric under fault injection without
+        # retry would just hang); ``False`` forces it off even then (used by
+        # tests demonstrating the hang); an explicit RecoveryConfig arms the
+        # retry layer on a clean fabric (schedule-neutral when no fault
+        # fires -- proven by the trace-equality tests).
+        if recovery is None and getattr(cluster.fabric, "injector", None) is not None:
+            from ..core.config import RecoveryConfig
+
+            recovery = RecoveryConfig()
+        self.recovery = recovery if recovery not in (None, False) else None
+
         self.endpoints: List[Endpoint] = []
         self.contexts: List[RankContext] = []
         rank_to_node = {}
@@ -96,6 +109,7 @@ class MpiWorld:
                 rank, node, cuda, self.cfg, self.tracer,
                 vbuf_bytes=vbuf_bytes, vbuf_count=vbuf_count,
             )
+            ep.recovery = self.recovery
             install_protocol(ep)
             self.endpoints.append(ep)
             rank_to_node[rank] = node.node_id

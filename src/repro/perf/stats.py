@@ -30,6 +30,25 @@ Counter names
 ``event_pool_hit`` / ``event_pool_miss``
     Simulation Timeout events served from the environment's recycle pool
     vs. freshly allocated (only counted while pooling is enabled).
+
+Fault / recovery counters (:mod:`repro.ib.faults` and the rendezvous
+recovery layer; all zero unless a FaultPlan or RecoveryConfig is armed)
+--------------------------------------------------------------------------
+``fault_ctl_drop`` / ``fault_ctl_dup`` / ``fault_ctl_delay``
+    Injected control-message faults applied on the wire.
+``fault_rdma_stall`` / ``fault_rdma_fail``
+    Injected RDMA faults (TX stall, completion-in-error).
+``rdma_retry`` / ``rts_retry``
+    Recovery retransmits: RDMA chunks re-posted after a completion
+    timeout/error; RTS re-posts while waiting for the first CTS.
+``cts_resent`` / ``fin_resent`` / ``nack_sent``
+    Receiver-watchdog re-grants, sender FIN replays and watchdog NACKs.
+``dup_rts_suppressed`` / ``dup_cts_suppressed`` / ``dup_fin_suppressed``
+    Duplicate protocol messages recognized and dropped by SSN bookkeeping.
+``degrade_to_host`` / ``vbuf_wait_timeout``
+    Chunks that fell off the GPU-offload path onto the strided-PCIe host
+    path when device staging timed out; bounded vbuf-acquisition waits
+    that expired and were retried.
 """
 
 from __future__ import annotations
@@ -99,6 +118,41 @@ class PerfStats:
             f"{c['cache_invalidation']} invalidations",
         ]
         return "[perf: " + ", ".join(parts) + "]"
+
+    #: Counters that appear in the fault footer (order matters for output).
+    FAULT_COUNTERS = (
+        "fault_ctl_drop", "fault_ctl_dup", "fault_ctl_delay",
+        "fault_rdma_stall", "fault_rdma_fail",
+        "rdma_retry", "rts_retry", "cts_resent", "fin_resent", "nack_sent",
+        "dup_rts_suppressed", "dup_cts_suppressed", "dup_fin_suppressed",
+        "degrade_to_host", "vbuf_wait_timeout",
+    )
+
+    def fault_footer(self) -> str:
+        """The one-line ``[faults: ...]`` footer; empty when nothing fired.
+
+        Covers both the injected faults and the recovery layer's reactions,
+        so a fault-matrix run shows at a glance what was thrown at the
+        fabric and what the protocol did about it.
+        """
+        c = self.counters
+        if not any(c[name] for name in self.FAULT_COUNTERS):
+            return ""
+        parts = [
+            "injected "
+            f"{c['fault_ctl_drop']} drop / {c['fault_ctl_dup']} dup / "
+            f"{c['fault_ctl_delay']} delay / "
+            f"{c['fault_rdma_stall']} stall / {c['fault_rdma_fail']} fail",
+            f"retries {c['rdma_retry']} rdma / {c['rts_retry']} rts",
+            f"resent {c['cts_resent']} cts / {c['fin_resent']} fin",
+            f"{c['nack_sent']} nacks",
+            "suppressed "
+            f"{c['dup_rts_suppressed']} rts / {c['dup_cts_suppressed']} cts / "
+            f"{c['dup_fin_suppressed']} fin dups",
+            f"{c['degrade_to_host']} degraded / "
+            f"{c['vbuf_wait_timeout']} vbuf timeouts",
+        ]
+        return "[faults: " + ", ".join(parts) + "]"
 
 
 #: The process-wide instance every hot path reports to.

@@ -19,7 +19,7 @@ from .events import (
 )
 from .process import Process, ProcessGenerator
 from .resources import Request, Resource, Store, StoreGet, StorePut
-from .trace import Interval, Tracer, union_duration
+from .trace import FaultRecord, Interval, Tracer, union_duration
 
 __all__ = [
     "Environment",
@@ -40,5 +40,6 @@ __all__ = [
     "StoreGet",
     "Tracer",
     "Interval",
+    "FaultRecord",
     "union_duration",
 ]

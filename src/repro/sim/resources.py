@@ -178,6 +178,21 @@ class Store:
         """Snapshot of currently stored items (for inspection/tests)."""
         return tuple(self.items)
 
+    def cancel_get(self, get: StoreGet) -> bool:
+        """Withdraw a pending get; returns False if it already triggered.
+
+        Needed by timeout-based callers (the rendezvous recovery layer): a
+        get that lost its race must be removed from the wait queue, or it
+        would later steal an item nobody is waiting for.
+        """
+        if get.triggered:
+            return False
+        try:
+            self._getters.remove(get)
+        except ValueError:
+            return False
+        return True
+
     def _dispatch(self) -> None:
         # Allocation-free rendezvous loop (this runs once per put/get, the
         # hottest non-numpy path in the simulator). Unsatisfied getters are

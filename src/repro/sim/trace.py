@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["Interval", "Tracer"]
+__all__ = ["Interval", "FaultRecord", "Tracer"]
 
 
 @dataclass(frozen=True)
@@ -35,12 +35,35 @@ class Interval:
         return default
 
 
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault or recovery action, as it happened.
+
+    ``kind`` is "<op>:<action>" for injected faults ("ctl:drop",
+    "rdma_write:stall", ...) and "recovery:<action>" for recovery-layer
+    decisions ("recovery:degrade", "recovery:rdma_retry", ...).
+    """
+
+    time: float
+    kind: str
+    src: int = -1
+    dst: int = -1
+    meta: Tuple[Tuple[str, object], ...] = ()
+
+    def get(self, key: str, default=None):
+        for k, v in self.meta:
+            if k == key:
+                return v
+        return default
+
+
 class Tracer:
-    """Collects :class:`Interval` records."""
+    """Collects :class:`Interval` activity records and :class:`FaultRecord`s."""
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
         self.intervals: List[Interval] = []
+        self.faults: List[FaultRecord] = []
 
     def record(self, start: float, end: float, engine: str, label: str, **meta) -> None:
         if not self.enabled:
@@ -51,8 +74,18 @@ class Tracer:
             Interval(start, end, engine, label, tuple(sorted(meta.items())))
         )
 
+    def record_fault(
+        self, time: float, kind: str, src: int = -1, dst: int = -1, **meta
+    ) -> None:
+        if not self.enabled:
+            return
+        self.faults.append(
+            FaultRecord(time, kind, src, dst, tuple(sorted(meta.items())))
+        )
+
     def clear(self) -> None:
         self.intervals.clear()
+        self.faults.clear()
 
     # -- queries ---------------------------------------------------------------
     def by_engine(self, engine: str) -> List[Interval]:

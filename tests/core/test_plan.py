@@ -167,7 +167,7 @@ def test_transfer_bytes_identical_plans_on_off(src_dev, dst_dev):
 
 # -- Figure 3 trace equality: optimizations are wall-clock only -----------------
 
-def _fig3_trace(use_plans: bool, event_pooling: bool):
+def _fig3_trace(use_plans: bool, event_pooling: bool, recovery=None):
     """One pipelined strided transfer; returns (intervals, final clock)."""
     rows = 1 << 14
     vec = Datatype.hvector(rows, 4, 8, BYTE).commit()
@@ -183,7 +183,8 @@ def _fig3_trace(use_plans: bool, event_pooling: bool):
             yield from ctx.comm.Recv(buf, 1, vec, source=0)
             return pack_bytes(buf, vec, 1)
 
-    world = MpiWorld(cluster, gpu_config=GpuNcConfig(use_plans=use_plans))
+    world = MpiWorld(cluster, gpu_config=GpuNcConfig(use_plans=use_plans),
+                     recovery=recovery)
     delivered = world.run(program)[1]
     assert np.all(delivered == 7)
     return cluster.tracer.intervals, env.now
@@ -201,3 +202,52 @@ def test_fig3_trace_identical_with_and_without_optimizations():
     assert fast_now == ref_now
     assert len(fast_ivs) == len(ref_ivs)
     assert fast_ivs == ref_ivs
+
+
+# -- recovery layer armed but fault-free: schedule must be untouched -------------
+
+def test_fig3_trace_identical_with_recovery_armed():
+    """Arming the retry/watchdog layer on a clean fabric is schedule-neutral.
+
+    The recovery machinery adds pending timeouts and bookkeeping but must
+    not move a single traced interval or the final clock: the paper-figure
+    runs (faults disabled) stay bit-identical whether or not the layer is
+    armed.
+    """
+    from repro.core.config import RecoveryConfig
+
+    armed_ivs, armed_now = _fig3_trace(
+        use_plans=True, event_pooling=True, recovery=RecoveryConfig()
+    )
+    ref_ivs, ref_now = _fig3_trace(use_plans=True, event_pooling=True)
+    assert armed_now == ref_now
+    assert armed_ivs == ref_ivs
+
+
+def test_fig5_host_rendezvous_trace_identical_with_recovery_armed():
+    """Same neutrality for the host rendezvous path (fig5 baselines)."""
+    from repro.core.config import RecoveryConfig
+
+    def trace(recovery):
+        n = 1 << 16  # above eager threshold: staged host rendezvous
+        env = Environment()
+        cluster = Cluster(2, env=env)
+
+        def program(ctx):
+            buf = ctx.node.malloc_host(n)
+            if ctx.rank == 0:
+                buf.view()[:] = 3
+                yield from ctx.comm.Send(buf, n, BYTE, dest=1)
+            else:
+                yield from ctx.comm.Recv(buf, n, BYTE, source=0)
+                return buf.view().copy()
+
+        world = MpiWorld(cluster, recovery=recovery)
+        delivered = world.run(program)[1]
+        assert np.all(delivered == 3)
+        return cluster.tracer.intervals, env.now
+
+    armed_ivs, armed_now = trace(RecoveryConfig())
+    ref_ivs, ref_now = trace(None)
+    assert armed_now == ref_now
+    assert armed_ivs == ref_ivs

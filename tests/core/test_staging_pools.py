@@ -1,0 +1,115 @@
+"""Property tests for the staging pools (tbuf device chunks, host vbufs).
+
+The pools are the pipeline's flow control; their conservation invariant
+(``available + in_use == count``) and ownership checks (foreign buffers,
+double releases and never-issued chunks are rejected) are what keep a
+recovery-layer retry from silently inflating a pool and breaking back-
+pressure.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.staging import TbufPool
+from repro.cuda.runtime import CudaContext
+from repro.hw import Cluster
+from repro.mpi.endpoint import VbufPool
+from repro.mpi.status import MpiError
+
+CHUNK = 4096
+COUNT = 4
+
+
+def _tbuf_pool(cluster):
+    node = cluster.nodes[0]
+    cuda = CudaContext(cluster.env, cluster.cfg, node, gpu=node.gpus[0],
+                       tracer=cluster.tracer, name="cuda:test")
+    return TbufPool(cuda, CHUNK, COUNT)
+
+
+def _vbuf_pool(cluster):
+    return VbufPool(cluster.env, cluster.nodes[0], CHUNK, COUNT)
+
+
+def _drive(cluster, pool, ops):
+    """Replay an acquire/release script; check conservation at each step."""
+    held = []
+
+    def program():
+        for op in ops:
+            if op == "acquire" and pool.available > 0:
+                buf = yield pool.acquire()
+                held.append(buf)
+            elif op == "release" and held:
+                pool.release(held.pop())
+            assert pool.available + len(held) == pool.count
+        return None
+        yield  # pragma: no cover
+
+    cluster.env.run(cluster.env.process(program()))
+    return held
+
+
+class TestConservationInvariant:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.sampled_from(["acquire", "release"]), max_size=40))
+    def test_tbuf_available_plus_in_use_is_count(self, ops):
+        cluster = Cluster(1)
+        pool = _tbuf_pool(cluster)
+        held = _drive(cluster, pool, ops)
+        assert pool.available + pool.in_use == pool.count
+        assert pool.in_use == len(held)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.sampled_from(["acquire", "release"]), max_size=40))
+    def test_vbuf_available_plus_held_is_count(self, ops):
+        cluster = Cluster(1)
+        pool = _vbuf_pool(cluster)
+        held = _drive(cluster, pool, ops)
+        assert pool.available + len(held) == pool.count
+
+
+@pytest.mark.parametrize("make,exc", [
+    (_tbuf_pool, ValueError),
+    (_vbuf_pool, MpiError),
+], ids=["tbuf", "vbuf"])
+class TestOwnershipValidation:
+    def _one(self, cluster, pool):
+        """Acquire a single buffer synchronously."""
+        def program():
+            buf = yield pool.acquire()
+            return buf
+        return cluster.env.run(cluster.env.process(program()))
+
+    def test_foreign_buffer_of_matching_size_rejected(self, make, exc):
+        cluster = Cluster(1)
+        pool, other = make(cluster), make(cluster)
+        stranger = self._one(cluster, other)
+        with pytest.raises(exc):
+            pool.release(stranger)
+
+    def test_double_release_rejected(self, make, exc):
+        cluster = Cluster(1)
+        pool = make(cluster)
+        buf = self._one(cluster, pool)
+        pool.release(buf)
+        with pytest.raises(exc, match="double release"):
+            pool.release(buf)
+
+    def test_never_issued_chunk_rejected(self, make, exc):
+        cluster = Cluster(1)
+        pool = make(cluster)
+        ghost = pool._backing.sub((pool.count - 1) * CHUNK, CHUNK)
+        with pytest.raises(exc, match="never handed out"):
+            pool.release(ghost)
+
+    def test_misaligned_slice_rejected(self, make, exc):
+        cluster = Cluster(1)
+        pool = make(cluster)
+        buf = self._one(cluster, pool)
+        crooked = pool._backing.sub(buf.offset - pool._backing.offset + 1,
+                                    CHUNK - 1)
+        with pytest.raises(exc):
+            pool.release(crooked)
+        pool.release(buf)  # the real chunk still goes back fine

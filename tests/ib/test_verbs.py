@@ -66,11 +66,17 @@ class TestRdmaWrite:
 
         def program():
             yield src_node.hca.rdma_write(src, rb)
+            # Local completion precedes remote visibility by one wire
+            # latency; wait it out before checking the target memory.
+            yield cluster.env.timeout(cluster.cfg.net_latency * 1.01)
 
         run(cluster, program())
         assert np.array_equal(dst.view(), payload)
 
     def test_takes_modeled_time(self, cluster):
+        """Local completion fires at TX completion: post overhead plus the
+        wire-streaming time, *without* the one-way propagation latency
+        (which only delays remote visibility)."""
         cfg = cluster.cfg
         n = 1 << 20
         src = cluster.nodes[0].malloc_host(n)
@@ -82,7 +88,30 @@ class TestRdmaWrite:
             return cluster.env.now
 
         t = run(cluster, program())
-        assert t == pytest.approx(cfg.rdma_time(n), rel=0.001)
+        expected = cfg.net_post_overhead + n / cfg.net_bandwidth
+        assert t == pytest.approx(expected, rel=0.001)
+
+    def test_remote_visibility_one_latency_after_completion(self, cluster):
+        """The written bytes land at the target one wire latency after the
+        sender's local completion."""
+        cfg = cluster.cfg
+        n = 4096
+        src = cluster.nodes[0].malloc_host(n)
+        src.view()[:] = 0xA7
+        dst = cluster.nodes[1].malloc_host(n)
+        rb = cluster.nodes[1].hca.register(dst)
+        env = cluster.env
+
+        def program():
+            done = cluster.nodes[0].hca.rdma_write(src, rb)
+            yield done
+            at_completion = int(dst.view()[0])
+            yield env.timeout(cfg.net_latency * 1.01)
+            return at_completion, int(dst.view()[0])
+
+        before, after = run(cluster, program())
+        assert before == 0  # not yet visible at local completion
+        assert after == 0xA7
 
     def test_size_mismatch_rejected(self, cluster):
         src = cluster.nodes[0].malloc_host(100)
@@ -156,6 +185,27 @@ class TestControlMessages:
             return msg.payload
 
         assert run(cluster, program()) == "self"
+
+    def test_loopback_models_size(self, cluster):
+        """Loopback pays a size-dependent host-memcpy term, so a large
+        self-message takes measurably longer than a tiny one."""
+        cfg = cluster.cfg
+
+        def program(size):
+            cluster.nodes[0].hca.send_control(0, "self", size_bytes=size)
+            yield cluster.nodes[0].hca.inbox.get()
+            return cluster.env.now
+
+        t_small = run(cluster, program(64))
+        expected = cfg.net_control_overhead + 64 / cfg.host_memcpy_bandwidth
+        assert t_small == pytest.approx(expected, rel=0.001)
+
+        big = 1 << 20
+        t_big = run(cluster, program(big)) - t_small
+        assert t_big == pytest.approx(
+            cfg.net_control_overhead + big / cfg.host_memcpy_bandwidth,
+            rel=0.001,
+        )
 
     def test_control_message_latency_is_microseconds(self, cluster):
         def receiver():
