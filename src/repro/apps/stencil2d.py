@@ -388,14 +388,22 @@ def run_stencil(
     cfg: StencilConfig,
     hw: Optional[HardwareConfig] = None,
     world_kwargs: Optional[dict] = None,
+    shards: int = 1,
+    tracer: Optional[Tracer] = None,
 ) -> StencilResult:
-    """Run one Stencil2D configuration and collect measurements."""
+    """Run one Stencil2D configuration and collect measurements.
+
+    ``shards > 1`` runs the exchange on the sharded engine
+    (:mod:`repro.sim.shard`); results are bit-identical to sequential.
+    """
     global_init = _initial_global(cfg) if cfg.functional else None
     # Stencil results only read times/breakdowns, never the trace; a
-    # disabled tracer lets the sim core skip interval bookkeeping.
+    # disabled tracer lets the sim core skip interval bookkeeping (tests
+    # pass an enabled one to compare sharded vs sequential traces).
     cluster = Cluster(
         cfg.nprocs, cfg=hw, functional=cfg.functional,
-        tracer=Tracer(enabled=False),
+        tracer=tracer if tracer is not None else Tracer(enabled=False),
+        shards=shards,
     )
     world = MpiWorld(cluster, nprocs=cfg.nprocs, **(world_kwargs or {}))
     outs = world.run(_stencil_program, cfg, global_init)

@@ -7,9 +7,12 @@ Usage::
 
 Independent experiments fan across ``--jobs`` worker processes (each with
 its own deterministic simulation environment and per-run seed); output is
-identical to a serial run. Every run records its wall-clock per experiment
-in ``BENCH_hotpath.json`` and ends with a one-line perf-stats footer
-(segment-cache hit rates, vectorized pack-path counters).
+identical to a serial run. ``--shards N`` runs the shard-aware experiments
+on the parallel sharded engine (bit-identical results, plus a ``[shard:]``
+footer); ``--cache`` serves unchanged experiments from ``.bench_cache.json``.
+Every run records its wall-clock per experiment in ``BENCH_hotpath.json``
+and ends with a one-line perf-stats footer (segment-cache hit rates,
+vectorized pack-path counters).
 """
 
 from __future__ import annotations
@@ -19,7 +22,7 @@ import sys
 
 from .experiments import EXPERIMENTS
 from .parallel import run_many
-from .report import fault_stats_footer, perf_stats_footer
+from .report import fault_stats_footer, perf_stats_footer, shard_stats_footer
 
 
 def main(argv=None) -> int:
@@ -52,9 +55,26 @@ def main(argv=None) -> int:
         action="store_true",
         help="do not update BENCH_hotpath.json with this run's wall-clock",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run shard-aware experiments (fig3, faultmx, scale) on the "
+        "sharded engine with N worker processes; results are bit-identical "
+        "to sequential (default 1 = sequential)",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="serve unchanged experiments from .bench_cache.json (keyed on "
+        "name, scale, seed and git HEAD; disabled while the tree is dirty)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.shards < 1:
+        parser.error(f"--shards must be >= 1, got {args.shards}")
 
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     unknown = [n for n in names if n not in EXPERIMENTS]
@@ -62,12 +82,18 @@ def main(argv=None) -> int:
         parser.error(f"unknown experiments: {unknown}; have {list(EXPERIMENTS)}")
 
     results = run_many(
-        names, scale=args.scale, jobs=args.jobs, record=not args.no_record
+        names, scale=args.scale, jobs=args.jobs, record=not args.no_record,
+        shards=args.shards, cache=args.cache,
     )
     for res in results:
         print(res.text)
-        print(f"[{res.name} regenerated in {res.elapsed:.1f}s wall time]\n")
+        suffix = " (cached)" if res.cached else ""
+        print(f"[{res.name} regenerated in {res.elapsed:.1f}s wall "
+              f"time{suffix}]\n")
     print(perf_stats_footer())
+    shard = shard_stats_footer()
+    if shard:
+        print(shard)
     faults = fault_stats_footer()
     if faults:
         print(faults)

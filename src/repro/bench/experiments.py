@@ -41,6 +41,7 @@ __all__ = [
     "ablation_chunk_size",
     "ablation_engines",
     "fault_matrix",
+    "scale_weak_stencil",
     "EXPERIMENTS",
 ]
 
@@ -238,6 +239,85 @@ def tab3_stencil(scale: str = "full", iterations: int = 3) -> dict:
     return _stencil_table("float64", scale, iterations)
 
 
+def scale_weak_stencil(scale: str = "full", shards: int = 0) -> dict:
+    """Weak-scaling stencil halo exchange, sequential vs the sharded engine.
+
+    Runs the ``tab2``-style mv2nc halo exchange at 8/16/32/64 ranks with a
+    fixed per-rank problem (64 x 4096 float32 -- 16 KiB north/south halos,
+    well past the eager threshold, so the rendezvous path crosses the
+    shard bridge). Each rank count runs sequentially and under the sharded
+    engine (``shards`` of 0 sweeps {2, 4}); the simulated iteration times
+    must be identical in every configuration (shard invariance is asserted,
+    not assumed), and the sequential-vs-widest-sharded wall-clocks are
+    pinned per rank count in ``BENCH_shard.json``.
+
+    Wall-clock speedup from sharding is bounded by the host's CPU cores
+    (the workers are real processes); the ledger records the core count
+    next to each pin so numbers taken on different machines stay
+    interpretable.
+    """
+    import os
+    import time
+
+    from ..perf.hotpath import record_shard_wallclock
+
+    grids = [(4, 2), (4, 4), (8, 4), (8, 8)] if scale == "full" \
+        else [(4, 2), (4, 4)]
+    iterations = 8 if scale == "full" else 2
+    shard_list = [2, 4] if shards < 2 else [shards]
+
+    result = {"points": [], "cores": os.cpu_count()}
+    rows = []
+    for gr, gc in grids:
+        nranks = gr * gc
+        cfg = StencilConfig(gr, gc, 64, 4096, iterations=iterations,
+                            functional=False)
+        start = time.perf_counter()
+        seq = run_stencil(cfg)
+        seq_wall = time.perf_counter() - start
+        sim_seconds = max(sum(ts) for ts in seq.iteration_times)
+        point = {
+            "ranks": nranks,
+            "sim_seconds": sim_seconds,
+            "sequential_wall": seq_wall,
+            "sharded_wall": {},
+        }
+        row = [str(nranks), format_time(sim_seconds, "ms"),
+               f"{seq_wall:.2f}"]
+        for nsh in shard_list:
+            start = time.perf_counter()
+            shd = run_stencil(cfg, shards=nsh)
+            wall = time.perf_counter() - start
+            if shd.iteration_times != seq.iteration_times:
+                raise RuntimeError(
+                    f"scale: {nranks}-rank iteration times diverged at "
+                    f"shards={nsh} -- shard invariance broken"
+                )
+            point["sharded_wall"][nsh] = wall
+            row.append(f"{wall:.2f} ({seq_wall / wall:.2f}x)")
+        widest = max(point["sharded_wall"])
+        record_shard_wallclock(
+            f"scale{nranks}", scale, seq_wall,
+            point["sharded_wall"][widest], widest,
+        )
+        result["points"].append(point)
+        rows.append(row)
+
+    headers = ["Ranks", "Sim (ms)", "Seq (s)"] + [
+        f"shards={n} (s)" for n in shard_list
+    ]
+    result["text"] = table(
+        headers, rows,
+        title=f"Weak scaling: stencil halo exchange, {iterations} iters, "
+        f"64x4096 f32 per rank",
+    ) + (
+        f"\n\nsimulated times identical in every configuration (verified); "
+        f"wall-clock measured on a {result['cores']}-core host -- parallel "
+        f"speedup is bounded by available cores"
+    )
+    return result
+
+
 # ---------------------------------------------------------------------------
 # Ablations (ours)
 # ---------------------------------------------------------------------------
@@ -300,19 +380,21 @@ def ablation_engines(scale: str = "full", verify: bool = False) -> dict:
     return result
 
 
-def fig3_pipeline_gantt(scale: str = "full") -> dict:
+def fig3_pipeline_gantt(scale: str = "full", shards: int = 1) -> dict:
     """Figure 3 (architecture): render the live five-stage pipeline.
 
     Not a measured figure in the paper -- Figure 3 is the design diagram --
     but the simulator can show the *actual* overlap the diagram promises:
     an ASCII Gantt of every engine during one pipelined strided transfer.
+    ``shards > 1`` runs it on the sharded engine; the merged trace (and
+    therefore the rendered gantt) is bit-identical to sequential.
     """
     from ..mpi import BYTE, Datatype
     from .timeline import overlap_stats, render_gantt
 
     rows = (1 << 18) if scale == "full" else (1 << 16)
     vec = Datatype.hvector(rows, 4, 8, BYTE).commit()
-    cluster = Cluster(2)
+    cluster = Cluster(2, shards=shards)
 
     def program(ctx):
         buf = ctx.cuda.malloc(rows * 8)
@@ -427,7 +509,8 @@ def ablation_interconnect(scale: str = "full", verify: bool = False) -> dict:
 # Fault matrix (ours)
 # ---------------------------------------------------------------------------
 
-def fault_matrix(scale: str = "full", verify: bool = True) -> dict:
+def fault_matrix(scale: str = "full", verify: bool = True,
+                 shards: int = 1) -> dict:
     """Convergence of the rendezvous recovery layer under injected faults.
 
     One non-contiguous GPU-GPU rendezvous per fault class, each over a
@@ -435,6 +518,8 @@ def fault_matrix(scale: str = "full", verify: bool = True) -> dict:
     messages, stalled/failed RDMA writes). Every case must complete with
     verified payload bytes; the table shows the simulated-time cost of each
     fault class next to the fault-free run and the recovery actions taken.
+    ``shards > 1`` exercises the recovery layer on the sharded engine; the
+    convergence times are bit-identical to sequential.
     """
     from ..ib.faults import FaultPlan, FaultSpec
     from ..mpi import BYTE, Datatype
@@ -478,7 +563,7 @@ def fault_matrix(scale: str = "full", verify: bool = True) -> dict:
     rows = []
     for name, specs in cases:
         plan = FaultPlan(specs=tuple(specs)) if specs else None
-        cluster = Cluster(2, faults=plan)
+        cluster = Cluster(2, faults=plan, shards=shards)
         world = MpiWorld(cluster)
         vec = Datatype.hvector(rows_n, 4, 8, BYTE).commit()
         before = PERF.snapshot()
@@ -536,4 +621,5 @@ EXPERIMENTS = {
     "ablC": ablation_offload,
     "ablD": ablation_interconnect,
     "faultmx": fault_matrix,
+    "scale": scale_weak_stencil,
 }

@@ -14,6 +14,7 @@ __all__ = [
     "comparison_row",
     "perf_stats_footer",
     "fault_stats_footer",
+    "shard_stats_footer",
 ]
 
 
@@ -46,6 +47,23 @@ def fault_stats_footer(snapshot: Optional[Dict[str, int]] = None) -> str:
     stats = PerfStats()
     stats.merge(snapshot)
     return stats.fault_footer()
+
+
+def shard_stats_footer(snapshot: Optional[Dict[str, int]] = None) -> str:
+    """One-line ``[shard: ...]`` summary; empty for sequential runs.
+
+    Reports the sharded engine's synchronization cost -- window rounds,
+    null-message overhead, cross-shard message counts by kind and
+    per-shard event totals -- whenever any experiment in the run used
+    ``shards > 1``.
+    """
+    if snapshot is None:
+        return PERF.shard_footer()
+    from ..perf.stats import PerfStats
+
+    stats = PerfStats()
+    stats.merge(snapshot)
+    return stats.shard_footer()
 
 
 def format_size(nbytes: int) -> str:

@@ -8,7 +8,23 @@ from ..sim import Environment, Tracer
 from .config import HardwareConfig
 from .node import Node
 
-__all__ = ["Cluster"]
+__all__ = ["Cluster", "default_shard_map"]
+
+
+def default_shard_map(num_nodes: int, shards: int) -> tuple:
+    """Contiguous block partition of ``num_nodes`` nodes over ``shards``.
+
+    The first ``num_nodes % shards`` shards take one extra node. Contiguous
+    blocks keep neighbor-heavy workloads (stencil halo exchange) mostly
+    intra-shard, minimizing bridge traffic.
+    """
+    if not 1 <= shards <= num_nodes:
+        raise ValueError(f"need 1 <= shards <= {num_nodes}, got {shards}")
+    base, extra = divmod(num_nodes, shards)
+    owners = []
+    for shard in range(shards):
+        owners.extend([shard] * (base + (1 if shard < extra else 0)))
+    return tuple(owners)
 
 
 class Cluster:
@@ -28,13 +44,55 @@ class Cluster:
         tracer: Optional[Tracer] = None,
         functional: bool = True,
         faults=None,
+        shards: int = 1,
+        shard_map: Optional[tuple] = None,
     ):
         if num_nodes < 1:
             raise ValueError("cluster needs at least one node")
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        # Sharded execution (repro.sim.shard): nodes partition across worker
+        # processes, each running its own Environment. ``shards`` requests
+        # the contiguous default partition (clamped to the node count);
+        # ``shard_map`` pins an explicit node -> shard assignment (tests use
+        # it to prove partition invariance). Sequential execution -- the
+        # default, shards == 1 -- is untouched by either.
+        if shard_map is not None:
+            if len(shard_map) != num_nodes:
+                raise ValueError(
+                    f"shard_map names {len(shard_map)} nodes, cluster has "
+                    f"{num_nodes}"
+                )
+            owners = sorted(set(shard_map))
+            if owners != list(range(len(owners))):
+                raise ValueError(
+                    f"shard_map must use contiguous shard ids 0..k, got "
+                    f"{owners}"
+                )
+            self.shard_map = tuple(shard_map)
+            self.shards = len(owners)
+        else:
+            self.shards = min(shards, num_nodes)
+            self.shard_map = default_shard_map(num_nodes, self.shards)
+        if self.shards > 1 and env is not None:
+            raise ValueError(
+                "sharded clusters build one Environment per worker; "
+                "passing an explicit env is only supported sequentially"
+            )
         self.cfg = cfg if cfg is not None else HardwareConfig.fermi_qdr()
         self.env = env if env is not None else Environment()
         self.env.functional = functional
         self.tracer = tracer if tracer is not None else Tracer()
+        #: Constructor facts a shard worker needs to rebuild this cluster
+        #: (fresh Environment and Tracer per worker; same everything else).
+        self._build_spec = {
+            "num_nodes": num_nodes,
+            "cfg": self.cfg,
+            "gpus_per_node": gpus_per_node,
+            "functional": functional,
+            "faults": faults,
+            "tracer_enabled": self.tracer.enabled,
+        }
         self.nodes: List[Node] = [
             Node(self.env, self.cfg, i, gpus_per_node=gpus_per_node)
             for i in range(num_nodes)

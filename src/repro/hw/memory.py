@@ -146,7 +146,13 @@ def wide_rows(arena: "Arena", offset: int, pitch: int, width: int,
 class Arena:
     """A contiguous simulated memory space with a first-fit allocator."""
 
-    def __init__(self, size: int, space: str, name: str = ""):
+    def __init__(
+        self,
+        size: int,
+        space: str,
+        name: str = "",
+        backing: Optional[np.ndarray] = None,
+    ):
         if size <= 0:
             raise ValueError("arena size must be positive")
         if space not in ("device", "host"):
@@ -154,7 +160,20 @@ class Arena:
         self.size = size
         self.space = space
         self.name = name
-        self.raw = np.zeros(size, dtype=np.uint8)
+        # ``backing`` lets a caller supply the storage bytes -- the shard
+        # payload arenas hand in views of ``multiprocessing.shared_memory``
+        # segments so staged RDMA payloads cross process boundaries without
+        # serialization. Default is a private (lazily committed) zero page.
+        if backing is not None:
+            if backing.dtype != np.uint8 or backing.ndim != 1:
+                raise ValueError("arena backing must be a 1-D uint8 array")
+            if backing.nbytes < size:
+                raise ValueError(
+                    f"arena backing holds {backing.nbytes} bytes, need {size}"
+                )
+            self.raw = backing[:size]
+        else:
+            self.raw = np.zeros(size, dtype=np.uint8)
         # Free list: sorted list of (offset, length) holes.
         self._free: List[Tuple[int, int]] = [(0, size)]
         self._live: Dict[int, int] = {}  # offset -> allocated length
@@ -228,6 +247,18 @@ class Arena:
                 off, length = self._free[lo]
                 self._free[lo - 1] = (poff, plen + length)
                 del self._free[lo]
+
+    def release_all(self) -> None:
+        """Drop every live allocation and restore the single full-size hole.
+
+        Window-scoped use (the shard payload staging arenas allocate per
+        synchronization window and recycle wholesale at the window barrier)
+        would otherwise pay one coalescing :meth:`free` per allocation.
+        Outstanding :class:`BufferPtr` handles become stale -- callers own
+        that lifecycle, exactly as with :meth:`free`.
+        """
+        self._live.clear()
+        self._free = [(0, self.size)]
 
     def check_2d_bounds(self, offset: int, pitch: int, width: int, height: int) -> None:
         """Validate that a 2-D access pattern stays inside the arena."""

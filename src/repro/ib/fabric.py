@@ -29,6 +29,14 @@ class Fabric:
     plan's injector is consulted by every HCA on each control message and
     RDMA operation. Without one (the default) ``self.injector`` is None and
     the verbs layer takes its unmodified fast paths.
+
+    Under sharded execution (:mod:`repro.sim.shard`) the fabric splits into
+    intra- and inter-shard channels: :meth:`attach_shard` marks which nodes
+    this process owns, and the verbs layer routes any wire operation whose
+    destination fails :meth:`is_local` through the attached bridge instead
+    of touching the peer node's replica objects. :attr:`lookahead` is the
+    conservative synchronization bound the split rests on -- no event can
+    influence a remote node sooner than one wire latency after it runs.
     """
 
     def __init__(
@@ -48,12 +56,43 @@ class Fabric:
             FaultInjector(env, faults, self.tracer)
             if faults is not None and faults.active else None
         )
+        #: Set by :meth:`attach_shard` in worker processes; None in the
+        #: (default) sequential mode, where every node is local.
+        self.shard_view = None
+        self.bridge = None
         self.hcas: List[HCA] = [
             HCA(env, cfg, node, self, self.tracer) for node in nodes
         ]
 
     def hca(self, node_id: int) -> HCA:
         return self.hcas[node_id]
+
+    @property
+    def lookahead(self) -> float:
+        """Minimum cross-node latency: the conservative-sync lookahead.
+
+        Every delivery path charges at least ``net_latency`` between an
+        event in the sending timeline and its earliest remote effect
+        (control delivery, RDMA payload landing, read request arrival), so
+        a shard granted a window ``[t, t + lookahead)`` beyond every peer's
+        earliest event can never receive a message inside it.
+        """
+        return self.cfg.net_latency
+
+    def is_local(self, node_id: int) -> bool:
+        """Whether this process owns ``node_id`` (always true sequentially)."""
+        view = self.shard_view
+        return view is None or view.node_to_shard[node_id] == view.index
+
+    def attach_shard(self, view, bridge) -> None:
+        """Enter sharded mode: own ``view``'s nodes, bridge the rest."""
+        if self.lookahead <= 0:
+            raise ValueError(
+                "sharded execution needs a positive net_latency lookahead"
+            )
+        self.shard_view = view
+        self.bridge = bridge
+        bridge.bind(self)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Fabric nodes={len(self.nodes)}>"

@@ -11,6 +11,16 @@ The model keeps the properties the paper's protocol relies on:
 * Messages between a given pair of HCAs are delivered in order (reliable
   connection semantics): all traffic serializes through the sender's TX
   engine and experiences the same wire latency.
+
+Every remote-side effect -- an inbox deposit, an RDMA payload landing, a
+read request reaching its responder, a read response returning -- is
+scheduled as a *wire-delivery event* (:meth:`Environment.schedule_wire`)
+keyed by ``(arrival time, source node, per-source sequence)``. The key is
+computed entirely from sender-local state, so the delivery order of
+same-instant arrivals is independent of how the simulation is partitioned:
+the sharded engine (:mod:`repro.sim.shard`) reconstructs the identical key
+on the receiving shard and the whole run stays bit-identical to the
+sequential one.
 """
 
 from __future__ import annotations
@@ -18,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, Optional
 
-from ..sim import Environment, Event, Store, Tracer
+from ..sim import Environment, Event, Store, Tracer, wire_key
 from ..hw.config import HardwareConfig
 from ..hw.memory import BufferPtr
 from .faults import CancelToken, RdmaError
@@ -85,7 +95,20 @@ class HCA:
         self._ctl_labels: Dict[int, tuple] = {}
         self._loopback_label = f"ctl-loopback:{self.name}"
         self._loopback_pname = f"ctl-loopback {self.name}"
+        #: Monotonic count of wire emissions by this node; combined with
+        #: the node id it keys every remote delivery (see module docstring).
+        self._wire_seq = 0
         node.hca = self
+
+    def _next_wire_key(self) -> int:
+        """Queue key for this HCA's next wire emission.
+
+        Consumed exactly once per emission on both the local and the
+        cross-shard branch, so a node's emission counter advances
+        identically no matter where its peers live.
+        """
+        self._wire_seq += 1
+        return wire_key(self.node.node_id, self._wire_seq)
 
     # -- registration ---------------------------------------------------------------
     def register(self, ptr: BufferPtr) -> RemoteBuffer:
@@ -178,13 +201,28 @@ class HCA:
         # remotely one wire latency later.
         data = src.view().copy() if self.env.functional else None
         done.succeed()
-        yield self.env.timeout(cfg.net_latency)
-        if token is not None and token.cancelled:
+        arrival = self.env.now + cfg.net_latency
+        key = self._next_wire_key()
+        if not self.fabric.is_local(dst.node_id):
+            # Cross-shard: the snapshot ships through the bridge and the
+            # owning shard injects the same keyed delivery at the arrival
+            # instant. A post-completion token cancel is unreachable (the
+            # retry layer only cancels attempts that never completed), so
+            # the in-flight check below has no cross-shard counterpart.
+            if data is not None:
+                self.fabric.bridge.send_rdma(
+                    dst.node_id, dst.offset, data, arrival, key,
+                )
             return
-        if data is not None:
-            target_node = self.fabric.nodes[dst.node_id]
-            dst_ptr = BufferPtr(target_node.memory, dst.offset, dst.nbytes)
-            dst_ptr.view()[:] = data
+        target_node = self.fabric.nodes[dst.node_id]
+
+        def land(_event):
+            if token is not None and token.cancelled:
+                return
+            if data is not None:
+                BufferPtr(target_node.memory, dst.offset, dst.nbytes).view()[:] = data
+
+        self.env.schedule_wire(arrival, key, land, label="wire-rdma")
 
     def rdma_read(
         self,
@@ -231,36 +269,87 @@ class HCA:
         with self.tx.request() as req:
             yield req
             yield self.env.timeout(cfg.net_post_overhead)
-        yield self.env.timeout(cfg.net_latency)
-        # The target's responder streams the payload back over its TX.
+        arrival = self.env.now + cfg.net_latency
+        key = self._next_wire_key()
+        stall = act.stall if act is not None else 0.0
+        fail_msg = (
+            f"rdma_read {self.name}<-{src.node_id} "
+            f"({src.nbytes} bytes) completed in error"
+        )
+        if not self.fabric.is_local(src.node_id):
+            # Cross-shard: ship the request to the shard owning the target;
+            # its responder TX streams under that shard's contention and the
+            # bridge completes ``done`` here when the response lands.
+            self.fabric.bridge.post_read(
+                dst, src, done, act, token, arrival, key,
+                origin_node=self.node.node_id, fail_msg=fail_msg,
+            )
+            return
+
+        # Local: the request arrives at the responder one latency out; the
+        # responder streams over its own TX and its response arrives back
+        # here as another keyed wire delivery. Identical structure -- same
+        # keys, same snapshot point (responder TX end) -- to the bridged
+        # cross-shard path.
         responder = self.fabric.hcas[src.node_id]
-        with responder.tx.request() as req:
+        env = self.env
+
+        def complete(data):
+            def apply(_event):
+                if token is not None and token.cancelled:
+                    return
+                if act is not None and act.fail:
+                    done.fail(RdmaError(fail_msg))
+                    return
+                if data is not None:
+                    dst.view()[:] = data
+                done.succeed()
+            return apply
+
+        def deliver(resp_arrival, resp_key, data):
+            env.schedule_wire(
+                resp_arrival, resp_key, complete(data), label="wire-rresp"
+            )
+
+        def request_arrives(_event):
+            env.process(
+                responder._read_respond_proc(
+                    src.offset, src.nbytes, stall, self.node.node_id, deliver
+                ),
+                name=f"rdma-read-resp {responder.name}->{self.name}",
+            )
+
+        env.schedule_wire(arrival, key, request_arrives, label="wire-rreq")
+
+    def _read_respond_proc(self, offset: int, nbytes: int, stall: float,
+                           origin_node: int, deliver):
+        """Responder half of an RDMA read (this HCA owns the data).
+
+        Streams ``nbytes`` over this HCA's TX engine (queueing behind its
+        other traffic), snapshots the window at TX end, and hands
+        ``deliver(arrival, key, data)`` the response's precomputed wire
+        arrival and key. Shared verbatim by the sequential path above and
+        the shard bridge's request injection, so both stream under the
+        same contention and snapshot at the same instant.
+        """
+        cfg = self.cfg
+        env = self.env
+        with self.tx.request() as req:
             yield req
-            start = self.env.now
-            if act is not None and act.stall:
+            start = env.now
+            if stall:
                 # Fault: the responder wedges before streaming the payload.
-                yield self.env.timeout(act.stall)
-            yield self.env.timeout(src.nbytes / cfg.net_bandwidth)
-            if responder.tracer.enabled:
-                responder.tracer.record(
-                    start, self.env.now, f"{responder.name}.tx",
-                    "rdma_read_resp",
-                    bytes=src.nbytes, origin=self.node.node_id,
+                yield env.timeout(stall)
+            yield env.timeout(nbytes / cfg.net_bandwidth)
+            if self.tracer.enabled:
+                self.tracer.record(
+                    start, env.now, f"{self.name}.tx", "rdma_read_resp",
+                    bytes=nbytes, origin=origin_node,
                 )
-        yield self.env.timeout(cfg.net_latency)
-        if token is not None and token.cancelled:
-            return
-        if act is not None and act.fail:
-            done.fail(RdmaError(
-                f"rdma_read {self.name}<-{src.node_id} "
-                f"({src.nbytes} bytes) completed in error"
-            ))
-            return
-        if self.env.functional:
-            src_node = self.fabric.nodes[src.node_id]
-            src_ptr = BufferPtr(src_node.memory, src.offset, src.nbytes)
-            dst.view()[:] = src_ptr.view()
-        done.succeed()
+        data = None
+        if env.functional:
+            data = self.node.memory.raw[offset : offset + nbytes].copy()
+        deliver(env.now + cfg.net_latency, self._next_wire_key(), data)
 
     def send_control(self, dst_node: int, payload: Any, size_bytes: int = 64) -> Event:
         """Send a small control message; returns the local completion event.
@@ -326,12 +415,31 @@ class HCA:
         if act is not None and act.drop:
             return
         delay = cfg.net_latency + (act.delay if act is not None else 0.0)
-        yield self.env.timeout(delay)
-        msg = ControlMessage(self.node.node_id, dst_node, payload)
-        yield self.fabric.hcas[dst_node].inbox.put(msg)
-        if act is not None and act.duplicate:
-            # The duplicate trails the original by one control overhead.
-            yield self.env.timeout(cfg.net_control_overhead)
-            yield self.fabric.hcas[dst_node].inbox.put(
-                ControlMessage(self.node.node_id, dst_node, payload)
+        arrival = self.env.now + delay
+        key = self._next_wire_key()
+        duplicate = act is not None and act.duplicate
+        # An injected duplicate trails the original by one control overhead.
+        dup_arrival = arrival + cfg.net_control_overhead
+        dup_key = self._next_wire_key() if duplicate else None
+        if not self.fabric.is_local(dst_node):
+            # Cross-shard: enqueue the delivery (and any injected
+            # duplicate) on the bridge at send time; the owning shard
+            # injects it with the identical key at the same arrival
+            # instant the local path below uses.
+            self.fabric.bridge.send_ctl(
+                self.node.node_id, dst_node, payload, arrival, key,
             )
+            if duplicate:
+                self.fabric.bridge.send_ctl(
+                    self.node.node_id, dst_node, payload, dup_arrival, dup_key,
+                )
+            return
+        inbox = self.fabric.hcas[dst_node].inbox
+        src_node = self.node.node_id
+
+        def land(_event):
+            inbox.put_nowait(ControlMessage(src_node, dst_node, payload))
+
+        self.env.schedule_wire(arrival, key, land, label="wire-ctl")
+        if duplicate:
+            self.env.schedule_wire(dup_arrival, dup_key, land, label="wire-ctl")

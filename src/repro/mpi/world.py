@@ -74,6 +74,19 @@ class MpiWorld:
         self.env = cluster.env
         self.cfg = cluster.cfg
         self.tracer = cluster.tracer
+        #: Constructor arguments as given (defaults unresolved), so a shard
+        #: worker can rebuild an identical world over its own cluster.
+        self._build_spec = {
+            "nprocs": nprocs,
+            "gpu_aware": gpu_aware,
+            "gpu_config": gpu_config,
+            "vbuf_bytes": vbuf_bytes,
+            "vbuf_count": vbuf_count,
+            "recovery": recovery,
+        }
+        #: Filled by a sharded run with coordinator statistics (rounds,
+        #: cross-shard message counts, per-shard event totals).
+        self.shard_stats = None
 
         if gpu_config is None:
             from ..core.config import GpuNcConfig
@@ -154,7 +167,17 @@ class MpiWorld:
         The simulation runs until every rank program finishes (or ``until``
         simulated seconds elapse, which raises if programs are unfinished --
         that means deadlock).
+
+        A cluster built with ``shards > 1`` runs the same program on the
+        sharded engine instead: node-partitioned worker processes under
+        conservative wire-latency synchronization, with results, traces and
+        the final clock merged back here (bit-identical to the sequential
+        run -- see :mod:`repro.sim.shard`).
         """
+        if getattr(self.cluster, "shards", 1) > 1:
+            from ..sim.shard import run_sharded_world
+
+            return run_sharded_world(self, program, args, until=until)
         procs = [
             self.env.process(program(ctx, *args), name=f"rank{ctx.rank}")
             for ctx in self.contexts

@@ -21,14 +21,17 @@ from typing import Dict, Optional
 __all__ = [
     "hotpath_file",
     "pipeline_file",
+    "shard_file",
     "load",
     "record_wallclock",
+    "record_shard_wallclock",
     "record_pack_throughput",
     "record_sim_throughput",
 ]
 
 _DEFAULT_NAME = "BENCH_hotpath.json"
 _PIPELINE_NAME = "BENCH_pipeline.json"
+_SHARD_NAME = "BENCH_shard.json"
 
 
 def _resolve(env_var: str, default_name: str) -> Path:
@@ -57,6 +60,18 @@ def pipeline_file() -> Path:
     run).
     """
     return _resolve("REPRO_BENCH_PIPELINE", _PIPELINE_NAME)
+
+
+def shard_file() -> Path:
+    """Resolve ``BENCH_shard.json``: ``$REPRO_BENCH_SHARD`` or repo root.
+
+    The shard file is a *comparison* ledger, not a trajectory: each entry's
+    ``before`` is the sequential wall-clock and ``after`` the sharded
+    wall-clock of the *same* run, so ``speedup`` is the parallel speedup of
+    the sharded engine on that workload (written by the ``scale``
+    experiment).
+    """
+    return _resolve("REPRO_BENCH_SHARD", _SHARD_NAME)
 
 
 def load(path: Optional[Path] = None) -> dict:
@@ -95,6 +110,37 @@ def record_wallclock(
     if entry["after"] > 0:
         entry["speedup"] = round(entry["before"] / entry["after"], 2)
     _save(data, path)
+    return entry
+
+
+def record_shard_wallclock(
+    name: str,
+    scale: str,
+    sequential: float,
+    sharded: float,
+    shards: int,
+    path: Optional[Path] = None,
+) -> dict:
+    """Record one sequential-vs-sharded comparison in ``BENCH_shard.json``.
+
+    Unlike :func:`record_wallclock`, *both* numbers come from the same
+    run: ``before`` is the sequential wall-clock, ``after`` the
+    ``shards``-way sharded wall-clock, so ``speedup`` is the parallel
+    speedup (the PR target is >= 2x at 4 shards on the big weak-scaling
+    points).
+    """
+    data = load(path or shard_file())
+    experiments: Dict[str, dict] = data.setdefault("experiments", {})
+    entry = experiments.setdefault(f"{name}:{scale}", {})
+    entry["before"] = round(sequential, 4)
+    entry["after"] = round(sharded, 4)
+    entry["shards"] = shards
+    # Parallel wall-clock speedup is bounded by the host's cores; record
+    # them so a pinned number is interpretable on a different machine.
+    entry["cores"] = os.cpu_count()
+    if entry["after"] > 0:
+        entry["speedup"] = round(entry["before"] / entry["after"], 2)
+    _save(data, path or shard_file())
     return entry
 
 

@@ -31,6 +31,21 @@ Counter names
     Simulation Timeout events served from the environment's recycle pool
     vs. freshly allocated (only counted while pooling is enabled).
 
+Shard counters (:mod:`repro.sim.shard`; all zero on sequential runs)
+--------------------------------------------------------------------------
+``shard_rounds`` / ``shard_null_grants``
+    Coordinator window rounds granted, and the subset that carried no
+    cross-shard messages (the conservative protocol's null-message
+    overhead).
+``shard_xmsg_ctl`` / ``shard_xmsg_rdma`` / ``shard_xmsg_rreq`` / ``shard_xmsg_rresp``
+    Cross-shard wire messages by kind: control messages, RDMA-write
+    payload landings, RDMA-read requests and their responses.
+``shard<i>_events``
+    Events processed by shard *i*'s worker environment.
+``shard_payload_shm_bytes`` / ``shard_payload_inline_bytes``
+    Bulk payload bytes shipped through the shared-memory arenas vs.
+    pickled inline over the control pipes.
+
 Fault / recovery counters (:mod:`repro.ib.faults` and the rendezvous
 recovery layer; all zero unless a FaultPlan or RecoveryConfig is armed)
 --------------------------------------------------------------------------
@@ -127,6 +142,40 @@ class PerfStats:
         "dup_rts_suppressed", "dup_cts_suppressed", "dup_fin_suppressed",
         "degrade_to_host", "vbuf_wait_timeout",
     )
+
+    #: Cross-shard message kinds, in footer order.
+    SHARD_MSG_KINDS = ("ctl", "rdma", "rreq", "rresp")
+
+    def shard_footer(self) -> str:
+        """The one-line ``[shard: ...]`` footer; empty on sequential runs.
+
+        Summarizes the sharded engine's synchronization cost: window
+        rounds, null-message overhead, cross-shard traffic by kind,
+        per-shard event totals and how payload bytes traveled.
+        """
+        c = self.counters
+        rounds = c["shard_rounds"]
+        if not rounds:
+            return ""
+        xmsg = {k: c[f"shard_xmsg_{k}"] for k in self.SHARD_MSG_KINDS}
+        per_shard = []
+        i = 0
+        while f"shard{i}_events" in c:
+            per_shard.append(c[f"shard{i}_events"])
+            i += 1
+        null = c["shard_null_grants"]
+        grants = rounds * max(len(per_shard), 1)
+        parts = [
+            f"{rounds} rounds",
+            f"{null} null grants ({100 * null / grants:.0f}%)"
+            if grants else "0 null grants",
+            f"xmsg {sum(xmsg.values())} "
+            f"({' / '.join(f'{v} {k}' for k, v in xmsg.items())})",
+            f"events per shard {per_shard}",
+            f"payload {c['shard_payload_shm_bytes']} B shm / "
+            f"{c['shard_payload_inline_bytes']} B inline",
+        ]
+        return "[shard: " + ", ".join(parts) + "]"
 
     def fault_footer(self) -> str:
         """The one-line ``[faults: ...]`` footer; empty when nothing fired.

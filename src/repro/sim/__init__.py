@@ -7,7 +7,7 @@ PCIe bus, the InfiniBand fabric, the MPI library -- is built on these
 primitives.
 """
 
-from .core import EmptySchedule, Environment
+from .core import WIRE_KEY_BASE, EmptySchedule, Environment, wire_key
 from .events import (
     AllOf,
     AnyOf,
@@ -24,6 +24,8 @@ from .trace import FaultRecord, Interval, Tracer, union_duration
 __all__ = [
     "Environment",
     "EmptySchedule",
+    "WIRE_KEY_BASE",
+    "wire_key",
     "Event",
     "Timeout",
     "Condition",

@@ -10,7 +10,38 @@ from ..perf.stats import PERF
 from .events import PROCESSED, TRIGGERED, AllOf, AnyOf, Event, SimulationError, Timeout
 from .process import Process, ProcessGenerator
 
-__all__ = ["Environment", "EmptySchedule"]
+__all__ = ["Environment", "EmptySchedule", "WIRE_KEY_BASE", "wire_key"]
+
+#: Heap keys at or above this value mark *wire delivery* events: the
+#: remote-side effects of cross-node fabric traffic (control-message inbox
+#: deposits, RDMA payload landings, read requests/responses). They share
+#: the event queue with ordinary events but use a key derived from the
+#: *sending node* -- ``(src_node, per-source sequence)`` -- instead of the
+#: global creation counter. Two consequences, both deliberate:
+#:
+#: * at any instant, every locally-created event (keys are creation
+#:   sequence numbers, far below the base) processes before any wire
+#:   delivery at that instant;
+#: * same-instant wire deliveries process in ``(src_node, seq)`` order.
+#:
+#: Both rules are computable from sender-local state alone, which makes
+#: the simulation *partition-invariant*: a sharded run (repro.sim.shard)
+#: reconstructs the identical key on the receiving shard, so event order
+#: -- and therefore every trace and result -- is bit-identical no matter
+#: how nodes are partitioned. Ordinary creation counters could never give
+#: this: they encode the global interleaving of unrelated nodes' event
+#: creations, which depends on the partition.
+WIRE_KEY_BASE = 1 << 62
+
+#: Room for 2**40 wire messages per node before keys of adjacent nodes
+#: could collide (a multi-year simulation; asserted in wire_key).
+_WIRE_KEY_STRIDE = 1 << 40
+
+
+def wire_key(src_node: int, seq: int) -> int:
+    """The queue key of the ``seq``-th wire delivery emitted by ``src_node``."""
+    assert 0 <= seq < _WIRE_KEY_STRIDE
+    return WIRE_KEY_BASE + src_node * _WIRE_KEY_STRIDE + seq
 
 
 class EmptySchedule(Exception):
@@ -36,10 +67,23 @@ class Environment:
     The split is invisible to simulated results: both structures order by
     the same key, so the processed event sequence is identical to a single
     heap's.
+
+    Wire-delivery events (:meth:`schedule_wire`) carry keys above
+    ``WIRE_KEY_BASE`` instead of a creation sequence number: at any given
+    instant they process after every locally-created event, ordered among
+    themselves by ``(source node, per-source sequence)``. See the
+    ``WIRE_KEY_BASE`` docstring for why that rule makes runs
+    partition-invariant.
     """
 
     def __init__(self, initial_time: float = 0.0, event_pooling: bool = True):
         self._now = float(initial_time)
+        #: Time of the last *processed* event. Differs from ``now`` only
+        #: after a run stopped between events (``run(until=time)`` or a
+        #: bounded :meth:`run_window`), which artificially advance the
+        #: clock. The shard coordinator uses it to reproduce the
+        #: sequential "queue drained before the horizon" clock exactly.
+        self._last_event = float(initial_time)
         self._queue: List[Tuple[float, int, Event]] = []
         self._imm: "deque[Tuple[float, int, Event]]" = deque()
         self._eid = 0
@@ -65,6 +109,11 @@ class Environment:
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def last_event_time(self) -> float:
+        """Time of the last processed event (``<= now``; see ``_last_event``)."""
+        return self._last_event
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -123,6 +172,80 @@ class Environment:
         else:
             raise SimulationError(f"cannot schedule {event!r} in the past")
 
+    def schedule_at(self, event: Event, when: float) -> None:
+        """Schedule ``event`` at the absolute simulated time ``when``.
+
+        Used by the shard bridge to inject cross-shard arrivals, whose
+        timestamps were fixed in the sending shard's timeline. ``when`` must
+        not lie in the past.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule {event!r} at {when} (now is {self._now})"
+            )
+        event._state = TRIGGERED
+        self._eid += 1
+        if when == self._now:
+            self._imm.append((self._now, self._eid, event))
+        else:
+            heapq.heappush(self._queue, (when, self._eid, event))
+
+    def schedule_wire(
+        self, when: float, key: int, callback, label: str = "wire"
+    ) -> Event:
+        """Schedule a wire-delivery event at ``when`` under ``key``.
+
+        ``key`` must come from :func:`wire_key`; see its docstring for the
+        ordering contract. The returned event is already triggered (value
+        ``None``) and fires ``callback(event)`` when processed. Used by the
+        verbs layer for every cross-node delivery and by the shard bridge
+        to inject granted cross-shard messages -- both compute the same key
+        from the same sender-local counters, which is what makes sharded
+        runs bit-identical to sequential ones.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule wire delivery at {when} (now is {self._now})"
+            )
+        assert key >= WIRE_KEY_BASE, "wire events must use wire_key()"
+        event = Event(self, label=label)
+        event._ok = True
+        event._value = None
+        event._state = TRIGGERED
+        event.callbacks.append(callback)
+        heapq.heappush(self._queue, (when, key, event))
+        return event
+
+    def schedule_many(self, entries: Iterable[Tuple[Event, float]]) -> None:
+        """Bulk-schedule ``(event, absolute time)`` pairs with one heapify.
+
+        The incremental path pays one ``heappush`` (O(log n)) per event; a
+        batch of *k* entries appended and heapified once costs O(n + k).
+        Entry order assigns the sequence numbers, so for same-time events
+        the pop order equals scheduling the entries one by one -- the bulk
+        path is purely a wall-clock fast path (covered by a determinism
+        test against the incremental path). Zero-delay entries go to the
+        immediate lane exactly as in :meth:`_schedule`.
+        """
+        queue = self._queue
+        imm = self._imm
+        now = self._now
+        pushed = False
+        for event, when in entries:
+            if when < now:
+                raise SimulationError(
+                    f"cannot schedule {event!r} at {when} (now is {now})"
+                )
+            event._state = TRIGGERED
+            self._eid += 1
+            if when == now:
+                imm.append((now, self._eid, event))
+            else:
+                queue.append((when, self._eid, event))
+                pushed = True
+        if pushed:
+            heapq.heapify(queue)
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle.
 
@@ -155,6 +278,7 @@ class Environment:
             raise EmptySchedule()
         assert when >= self._now, "event queue corrupted: time went backwards"
         self._now = when
+        self._last_event = when
         event._process()
 
     # -- run loop -------------------------------------------------------------------
@@ -190,6 +314,7 @@ class Environment:
         imm = self._imm
         pop = heapq.heappop
         popleft = imm.popleft
+        last = None
         try:
             while True:
                 if stop_event is not None and stop_event._state is PROCESSED:
@@ -217,8 +342,11 @@ class Environment:
                     return None
                 when, _, event = popleft() if use_imm else pop(queue)
                 self._now = when
+                last = when
                 event._process()
         finally:
+            if last is not None:
+                self._last_event = last
             # Fold the batched pool tallies into the global perf counters.
             if self._pool_hits:
                 PERF.bump("event_pool_hit", self._pool_hits)
@@ -226,3 +354,52 @@ class Environment:
             if self._pool_misses:
                 PERF.bump("event_pool_miss", self._pool_misses)
                 self._pool_misses = 0
+
+    def run_window(self, bound: float) -> int:
+        """Process every event with time **strictly below** ``bound``.
+
+        The primitive behind conservative parallel execution: a shard that
+        has been granted the window ``[now, bound)`` may process exactly the
+        events below the bound -- anything a peer shard does in the same
+        window can only produce arrivals at or after the bound (the grant
+        logic guarantees ``bound <= earliest peer event + lookahead``).
+        Unlike :meth:`run`, events *at* the bound stay queued: the bound is
+        exclusive so that back-to-back windows partition the timeline.
+
+        Advances the clock to ``bound`` when finite (mirroring
+        ``run(until=...)`` stopping between events) and returns the number
+        of events processed.
+        """
+        queue = self._queue
+        imm = self._imm
+        pop = heapq.heappop
+        popleft = imm.popleft
+        count = 0
+        try:
+            while True:
+                if imm:
+                    use_imm = not (queue and queue[0] < imm[0])
+                    head_time = imm[0][0] if use_imm else queue[0][0]
+                elif queue:
+                    use_imm = False
+                    head_time = queue[0][0]
+                else:
+                    break
+                if head_time >= bound:
+                    break
+                when, _, event = popleft() if use_imm else pop(queue)
+                self._now = when
+                event._process()
+                count += 1
+        finally:
+            if self._pool_hits:
+                PERF.bump("event_pool_hit", self._pool_hits)
+                self._pool_hits = 0
+            if self._pool_misses:
+                PERF.bump("event_pool_miss", self._pool_misses)
+                self._pool_misses = 0
+        if count:
+            self._last_event = self._now
+        if bound != float("inf") and bound > self._now:
+            self._now = bound
+        return count

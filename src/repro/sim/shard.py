@@ -1,0 +1,815 @@
+"""Sharded parallel execution of an MPI world under conservative sync.
+
+The sequential simulator processes one global event queue. This module
+partitions a :class:`~repro.hw.cluster.Cluster`'s nodes across forked
+worker processes, each running its *own* :class:`Environment` over the
+events of its nodes, and synchronizes them with a conservative
+Chandy--Misra--Bryant-style protocol whose lookahead is the minimum
+cross-shard fabric latency (``Fabric.lookahead``, i.e. ``net_latency``).
+
+Protocol
+--------
+A coordinator (the parent process) runs rounds of *time windows*. Each
+round it collects every shard's earliest pending event time, folds in the
+arrival times of cross-shard messages still queued for delivery, and
+grants shard *i* the window ``[now_i, bound_i)`` with::
+
+    eff[j]   = min(next_event[j], earliest queued arrival for j)
+    bound_i  = min(min(eff[j] for j != i) + lookahead,
+                   eff[i] + 2 * lookahead)
+
+Safety: any message a peer *j* emits in its own window is sent at a local
+time ``t >= eff[j]`` and arrives ``t + lookahead >= bound_i``, so it can
+never land inside a window shard *i* was already granted. The second term
+guards against *feedback through an idle peer*: shard *i* itself may emit
+as early as ``eff[i]``; a peer's reaction to that emission can reach *i*
+no earlier than ``eff[i] + 2 * lookahead`` (one latency out, one back),
+and without the cap an idle peer (``eff[j] = inf``) would hand *i* an
+unbounded window that outruns the reaction. Progress: the globally
+earliest shard always receives a bound strictly above its next event
+(lookahead is positive -- enforced by ``Fabric.attach_shard``), so every
+round processes at least one event somewhere.
+
+Cross-shard traffic is cut at **send time**: the verbs layer
+(:mod:`repro.ib.verbs`) computes each operation's remote arrival timestamp
+in the sender's timeline and hands it to the :class:`ShardBridge` instead
+of touching the peer node's replica objects. The coordinator routes the
+records to the owning shard with the next grant, where they are injected
+as plain events at the precomputed arrival time -- by the safety argument
+above, never in the receiver's past.
+
+Payload bytes (RDMA writes and read responses) travel through per-shard
+``multiprocessing.shared_memory`` staging arenas (two halves, used in
+window parity so a half is only recycled after every message staged in it
+has been copied out by its receiver at grant receipt); oversized payloads
+fall back to inline pickling through the control pipe.
+
+Determinism
+-----------
+Every cross-shard record carries the *wire key* its sender's HCA computed
+-- ``(source node, per-source emission sequence)``, the same key the
+sequential run uses for the delivery (see ``WIRE_KEY_BASE`` in
+:mod:`repro.sim.core`). Workers inject granted messages through
+:meth:`Environment.schedule_wire` under that key, so the receiving shard
+processes them at exactly the queue position the sequential run would
+have: after every locally-created event of the arrival instant, ordered
+among deliveries by ``(src node, seq)``. Because the key is a pure
+function of sender-local state, the whole run is partition-invariant: the
+merged trace (``Tracer.merge_from``), per-rank results and final clock
+are bit-identical to the sequential run for *any* shard map -- the
+property the trace-equality tests in ``tests/sim/test_shard.py`` pin
+down.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import traceback
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..perf.stats import PERF
+from .core import Environment
+from .events import Event, SimulationError
+from .trace import Tracer
+
+__all__ = ["ShardView", "ShardBridge", "run_sharded_world"]
+
+#: Size of each shard's shared-memory payload staging segment (two halves).
+#: Overridable for tests via ``REPRO_SHARD_SEG_BYTES``.
+_SEG_BYTES_DEFAULT = 8 << 20
+
+_INF = float("inf")
+
+
+def _seg_bytes() -> int:
+    return int(os.environ.get("REPRO_SHARD_SEG_BYTES", _SEG_BYTES_DEFAULT))
+
+
+class ShardView:
+    """Which nodes this worker owns inside the global partition."""
+
+    __slots__ = ("index", "count", "node_to_shard")
+
+    def __init__(self, index: int, count: int, node_to_shard: Tuple[int, ...]):
+        self.index = index
+        self.count = count
+        self.node_to_shard = node_to_shard
+
+    def owns_node(self, node_id: int) -> bool:
+        return self.node_to_shard[node_id] == self.index
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<ShardView {self.index}/{self.count}>"
+
+
+def _open_shm(name: str):
+    """Attach an existing shared-memory segment without tracker ownership."""
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - pre-3.13 fallback
+        return shared_memory.SharedMemory(name=name)
+
+
+class ShardBridge:
+    """The worker-side endpoint of the cross-shard channel.
+
+    The verbs layer calls :meth:`send_ctl` / :meth:`send_rdma` /
+    :meth:`post_read` when an operation's destination node is not local;
+    the worker main loop drains :meth:`take_outbox` into its round reply
+    and feeds granted messages back through :meth:`deliver`.
+    """
+
+    def __init__(self, view: ShardView, shm_names: List[str]):
+        from ..hw.memory import Arena
+
+        self.view = view
+        self.outbox: List[tuple] = []
+        self.pending_reads: Dict[tuple, tuple] = {}
+        self.fabric = None
+        self.env: Optional[Environment] = None
+        self._read_id = 0
+        self._shms = [_open_shm(name) for name in shm_names]
+        self._seg_views = [
+            np.frombuffer(shm.buf, dtype=np.uint8) for shm in self._shms
+        ]
+        seg = len(self._seg_views[view.index])
+        self._half = seg // 2
+        own = self._seg_views[view.index]
+        self._stage_arenas = [
+            Arena(
+                self._half, "host", name=f"shard{view.index}.stage{p}",
+                backing=own[p * self._half : (p + 1) * self._half],
+            )
+            for p in (0, 1)
+        ]
+        self._parity = 0
+
+    # -- lifecycle ----------------------------------------------------------
+    def bind(self, fabric) -> None:
+        """Called by ``Fabric.attach_shard``: adopt the fabric's environment."""
+        self.fabric = fabric
+        self.env = fabric.env
+
+    def close(self) -> None:
+        # Drop every view into the segments first: mmaps cannot close while
+        # exported numpy buffers are alive.
+        self._stage_arenas = []
+        self._seg_views = []
+        for shm in self._shms:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - stray exported view
+                pass
+
+    def begin_window(self, parity: int) -> None:
+        """Recycle the staging half of ``parity`` for this window's sends.
+
+        Safe because a half filled in window *w* is only reused in window
+        *w + 2*, and every message staged in *w* was copied out by its
+        receiver at the *w + 1* grant -- before the coordinator can have
+        issued the *w + 2* grants.
+        """
+        self._parity = parity
+        self._stage_arenas[parity].release_all()
+
+    # -- payload staging -----------------------------------------------------
+    def _stage(self, data: np.ndarray) -> tuple:
+        from ..hw.memory import OutOfMemoryError
+
+        n = data.nbytes
+        if n:
+            arena = self._stage_arenas[self._parity]
+            try:
+                ptr = arena.alloc(n)
+            except OutOfMemoryError:
+                ptr = None
+            if ptr is not None:
+                ptr.view()[:] = data
+                PERF.bump("shard_payload_shm_bytes", n)
+                return ("s", self.view.index, self._parity * self._half + ptr.offset, n)
+        PERF.bump("shard_payload_inline_bytes", n)
+        return ("i", data)
+
+    def _fetch(self, ref: tuple) -> np.ndarray:
+        if ref[0] == "i":
+            return ref[1]
+        _, shard, offset, n = ref
+        return self._seg_views[shard][offset : offset + n].copy()
+
+    # -- sender side (called from repro.ib.verbs) ---------------------------
+    # Record layout, shared by every kind:
+    #   (kind, arrival, wire_key, dst_shard, *body)
+    # ``wire_key`` is the sender HCA's key for this delivery -- carrying it
+    # across lets the receiving shard inject at the exact queue position
+    # the sequential run would use (see module docstring).
+
+    def send_ctl(self, src_node: int, dst_node: int, payload: Any,
+                 arrival: float, key: int) -> None:
+        """Queue a control-message delivery into ``dst_node``'s inbox."""
+        PERF.bump("shard_xmsg_ctl")
+        self.outbox.append((
+            "ctl", arrival, key, self.view.node_to_shard[dst_node],
+            src_node, dst_node, payload,
+        ))
+
+    def send_rdma(self, dst_node: int, offset: int, data: np.ndarray,
+                  arrival: float, key: int) -> None:
+        """Queue an RDMA-write payload landing in ``dst_node``'s memory."""
+        PERF.bump("shard_xmsg_rdma")
+        self.outbox.append((
+            "rdma", arrival, key, self.view.node_to_shard[dst_node],
+            dst_node, offset, self._stage(data),
+        ))
+
+    def post_read(self, dst, src, done: Event, act, token, arrival: float,
+                  key: int, origin_node: int, fail_msg: str) -> None:
+        """Queue an RDMA-read request for the shard owning ``src.node_id``.
+
+        The local completion context (destination pointer, completion
+        event, fault action/cancel token) stays here under a request id;
+        the target shard's responder streams under its own TX contention
+        and the response completes the read via the ``rresp`` callback.
+        """
+        PERF.bump("shard_xmsg_rreq")
+        rid = (self.view.index, self._read_id)
+        self._read_id += 1
+        self.pending_reads[rid] = (dst, done, act, token, fail_msg)
+        stall = act.stall if act is not None else 0.0
+        self.outbox.append((
+            "rreq", arrival, key, self.view.node_to_shard[src.node_id],
+            src.node_id, src.offset, src.nbytes, stall, origin_node,
+            self.view.index, rid,
+        ))
+
+    def take_outbox(self) -> List[tuple]:
+        out, self.outbox = self.outbox, []
+        return out
+
+    # -- receiver side -------------------------------------------------------
+    def deliver(self, msgs: List[tuple]) -> None:
+        """Inject granted messages as wire events at their arrivals.
+
+        Payload references are materialized *now* (grant receipt), because
+        the sender may recycle its staging half two windows later while a
+        far-future arrival is still queued here. Each record is injected
+        through :meth:`Environment.schedule_wire` under the sender's
+        original wire key, landing at exactly the sequential run's queue
+        position.
+        """
+        env = self.env
+        for m in msgs:
+            kind, arrival, key = m[0], m[1], m[2]
+            if kind == "ctl":
+                cb = self._ctl_callback(m[4], m[5], m[6])
+            elif kind == "rdma":
+                data = self._fetch(m[6])
+                cb = self._rdma_callback(m[4], m[5], data)
+            elif kind == "rreq":
+                cb = self._rreq_callback(m[4], m[5], m[6], m[7], m[8], m[9],
+                                         m[10])
+            elif kind == "rresp":
+                ref = m[5]
+                data = self._fetch(ref) if ref is not None else None
+                cb = self._rresp_callback(m[4], data)
+            else:  # pragma: no cover - protocol error
+                raise SimulationError(f"unknown cross-shard message {kind!r}")
+            env.schedule_wire(arrival, key, cb, label=f"xshard-{kind}")
+
+    def _ctl_callback(self, src_node: int, dst_node: int, payload: Any):
+        def apply(_event, self=self):
+            from ..ib.verbs import ControlMessage
+
+            self.fabric.hcas[dst_node].inbox.put_nowait(
+                ControlMessage(src_node, dst_node, payload)
+            )
+        return apply
+
+    def _rdma_callback(self, dst_node: int, offset: int, data: np.ndarray):
+        def apply(_event, self=self):
+            node = self.fabric.nodes[dst_node]
+            node.memory.raw[offset : offset + data.nbytes] = data
+        return apply
+
+    def _rreq_callback(self, target_node: int, offset: int, nbytes: int,
+                       stall: float, origin_node: int, origin_shard: int,
+                       rid: tuple):
+        # The injected request spawns the *shared* responder coroutine
+        # (HCA._read_respond_proc): same TX contention, same stall fault,
+        # same trace record and same snapshot point as the sequential
+        # path. Only the response transport differs -- it rides the bridge
+        # back to the origin shard, carrying the responder's wire key.
+        def apply(_event, self=self):
+            responder = self.fabric.hcas[target_node]
+
+            def deliver(arrival, key, data):
+                ref = self._stage(data) if data is not None else None
+                PERF.bump("shard_xmsg_rresp")
+                self.outbox.append(
+                    ("rresp", arrival, key, origin_shard, rid, ref)
+                )
+
+            self.env.process(
+                responder._read_respond_proc(
+                    offset, nbytes, stall, origin_node, deliver
+                ),
+                name=f"rdma-read-resp hca{target_node}->shard{origin_shard}",
+            )
+        return apply
+
+    def _rresp_callback(self, rid: tuple, data: Optional[np.ndarray]):
+        def apply(_event, self=self):
+            from ..ib.faults import RdmaError
+
+            dst, done, act, token, fail_msg = self.pending_reads.pop(rid)
+            if token is not None and token.cancelled:
+                return
+            if act is not None and act.fail:
+                done.fail(RdmaError(fail_msg))
+                return
+            if data is not None:
+                dst.view()[:] = data
+            done.succeed()
+        return apply
+
+
+# ---------------------------------------------------------------------------
+# Result shipping: rank programs may return BufferPtr handles (the fault
+# matrix returns its receive buffer for verification). Pickling one naively
+# would serialize the entire backing arena, so buffers are re-rooted onto
+# fresh minimal arenas carrying just their bytes.
+# ---------------------------------------------------------------------------
+
+class _ShippedBuffer:
+    __slots__ = ("space", "data")
+
+    def __init__(self, space: str, data: np.ndarray):
+        self.space = space
+        self.data = data
+
+
+def _ship(value: Any) -> Any:
+    from ..hw.memory import BufferPtr
+
+    if isinstance(value, BufferPtr):
+        return _ShippedBuffer(value.space, value.view().copy())
+    if isinstance(value, tuple):
+        return tuple(_ship(v) for v in value)
+    if isinstance(value, list):
+        return [_ship(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _ship(v) for k, v in value.items()}
+    return value
+
+
+def _unship(value: Any) -> Any:
+    from ..hw.memory import Arena, BufferPtr
+
+    if isinstance(value, _ShippedBuffer):
+        nbytes = value.data.nbytes
+        arena = Arena(max(nbytes, 1), value.space, name="shipped")
+        arena.raw[:nbytes] = value.data
+        return BufferPtr(arena, 0, nbytes)
+    if isinstance(value, tuple):
+        return tuple(_unship(v) for v in value)
+    if isinstance(value, list):
+        return [_unship(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _unship(v) for k, v in value.items()}
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+def _pickle_or_none(exc: BaseException) -> Optional[bytes]:
+    try:
+        blob = pickle.dumps(exc)
+        pickle.loads(blob)
+        return blob
+    except Exception:
+        return None
+
+
+def _worker_main(index, cluster_spec, world_spec, shard_map, shm_names,
+                 program, args, cmd, rsp):
+    """Entry point of one shard worker (forked: arguments are inherited)."""
+    bridge = None
+    try:
+        PERF.reset()
+        from ..hw.cluster import Cluster
+        from ..mpi.world import MpiWorld
+
+        view = ShardView(index, max(shard_map) + 1, tuple(shard_map))
+        bridge = ShardBridge(view, shm_names)
+        cluster = Cluster(
+            cluster_spec["num_nodes"],
+            cfg=cluster_spec["cfg"],
+            gpus_per_node=cluster_spec["gpus_per_node"],
+            functional=cluster_spec["functional"],
+            faults=cluster_spec["faults"],
+            tracer=Tracer(enabled=cluster_spec["tracer_enabled"]),
+        )
+        cluster.fabric.attach_shard(view, bridge)
+        world = MpiWorld(cluster, **world_spec)
+        env = cluster.env
+
+        # Every worker rebuilds the full world (endpoints for remote ranks
+        # are inert replicas: their progress engines block forever on
+        # inboxes the bridge never feeds), but only local ranks run.
+        local = [
+            ctx for ctx in world.contexts if view.owns_node(ctx.node.node_id)
+        ]
+        procs = {
+            ctx.rank: env.process(program(ctx, *args), name=f"rank{ctx.rank}")
+            for ctx in local
+        }
+        done = env.all_of(list(procs.values()), label="shard-finished") \
+            if procs else None
+        state = {"done_time": None}
+        if done is not None:
+            done.callbacks.append(
+                lambda _ev: state.__setitem__("done_time", env.now)
+            )
+
+        def done_failed() -> Optional[BaseException]:
+            if done is not None and done.triggered and not done.ok:
+                done.defuse()
+                return done.value
+            return None
+
+        def done_flag() -> bool:
+            return done is None or done.processed
+
+        total_events = 0
+        rsp.send(("ready", index, env.peek()))
+        while True:
+            msg = cmd.recv()
+            op = msg[0]
+            if op == "window":
+                _, bound, parity, incoming = msg
+                bridge.begin_window(parity)
+                if incoming:
+                    bridge.deliver(incoming)
+                total_events += env.run_window(bound)
+                exc = done_failed()
+                if exc is not None:
+                    raise exc
+                rsp.send((
+                    "ran", index, env.peek(), bridge.take_outbox(),
+                    total_events, done_flag(), state["done_time"],
+                ))
+            elif op == "until":
+                _, horizon, incoming = msg
+                if incoming:
+                    bridge.deliver(incoming)
+                if horizon >= env.now:
+                    env.run(until=horizon)
+                exc = done_failed()
+                if exc is not None:
+                    raise exc
+                # Anything emitted here happens at t >= horizon and would
+                # arrive strictly after it: the sequential run would leave
+                # the delivery unprocessed too. The coordinator only checks
+                # whether the outbox is non-empty (to mirror the sequential
+                # "events remain, clock pins to the horizon" semantics) and
+                # never routes it.
+                rsp.send((
+                    "ran", index, env.peek(), bridge.take_outbox(),
+                    total_events, done_flag(), state["done_time"],
+                ))
+            elif op == "finish":
+                results = {
+                    rank: _ship(proc.value)
+                    for rank, proc in procs.items() if proc.processed
+                }
+                rsp.send(("result", index, {
+                    "results": results,
+                    "intervals": cluster.tracer.intervals,
+                    "faults": cluster.tracer.faults,
+                    "perf": PERF.snapshot(),
+                    "events": total_events,
+                    "done_ok": done_flag(),
+                    "done_time": state["done_time"],
+                    "now": env.now,
+                    "last_event": env.last_event_time,
+                }))
+                return
+            else:  # pragma: no cover - protocol error
+                raise SimulationError(f"unknown shard command {op!r}")
+    except BaseException as exc:  # pragma: no cover - exercised via pipes
+        try:
+            rsp.send(("fatal", index, _pickle_or_none(exc),
+                      traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        if bridge is not None:
+            bridge.close()
+
+
+# ---------------------------------------------------------------------------
+# Coordinator
+# ---------------------------------------------------------------------------
+
+class _TraceSource:
+    __slots__ = ("intervals", "faults")
+
+    def __init__(self, intervals, faults):
+        self.intervals = intervals
+        self.faults = faults
+
+
+class _Coordinator:
+    """Window-granting loop over the shard workers."""
+
+    def __init__(self, shards: int, lookahead: float, cmds, rsps):
+        self.shards = shards
+        self.lookahead = lookahead
+        self.cmds = cmds
+        self.rsps = rsps
+        self.next_time = [0.0] * shards
+        self.pending: List[List[tuple]] = [[] for _ in range(shards)]
+        self.done_flags = [False] * shards
+        self.done_times: List[Optional[float]] = [None] * shards
+        self.events = [0] * shards
+        self.rounds = 0
+        self.null_grants = 0
+        self.msg_counts: Dict[str, int] = {}
+        self.failure: Optional[tuple] = None
+        # Set by run_until(): True when wire messages scheduled past the
+        # horizon were dropped (the sequential run would leave their
+        # delivery events sitting in the queue, keeping now == horizon).
+        self.leftover = False
+
+    def _recv(self, i: int):
+        try:
+            reply = self.rsps[i].recv()
+        except EOFError:
+            raise RuntimeError(
+                f"shard worker {i} died without reporting an error"
+            ) from None
+        if reply[0] == "fatal":
+            _, _, blob, tb = reply
+            exc = pickle.loads(blob) if blob is not None else None
+            if exc is None:
+                exc = RuntimeError(f"shard worker {i} failed:\n{tb}")
+            self.failure = (exc, tb)
+            raise exc
+        return reply
+
+    def handshake(self) -> None:
+        for i in range(self.shards):
+            reply = self._recv(i)
+            assert reply[0] == "ready"
+            self.next_time[i] = reply[2]
+
+    def _route(self, outbox: List[tuple]) -> None:
+        for m in outbox:
+            kind, dst_shard = m[0], m[3]
+            self.pending[dst_shard].append(m)
+            self.msg_counts[kind] = self.msg_counts.get(kind, 0) + 1
+
+    def effective_times(self) -> List[float]:
+        return [
+            min(
+                self.next_time[i],
+                min((m[1] for m in self.pending[i]), default=_INF),
+            )
+            for i in range(self.shards)
+        ]
+
+    def round(self, horizon: Optional[float]) -> None:
+        """Grant one window to every shard (bounds capped at ``horizon``)."""
+        eff = self.effective_times()
+        bounds = []
+        for i in range(self.shards):
+            peers = [eff[j] for j in range(self.shards) if j != i]
+            bound = (min(peers) if peers else _INF) + self.lookahead
+            # Feedback cap: a peer's reaction to something shard i emits in
+            # this very window needs two wire hops to come back, so nothing
+            # can reach i before eff[i] + 2L. Without this cap an idle peer
+            # (eff = inf) would grant i an unbounded window that runs past
+            # the replies to its own in-window sends.
+            bound = min(bound, eff[i] + 2 * self.lookahead)
+            if horizon is not None:
+                bound = min(bound, horizon)
+            bounds.append(bound)
+        parity = self.rounds % 2
+        granted = []
+        for i in range(self.shards):
+            if not self.pending[i] and bounds[i] <= self.next_time[i]:
+                # Nothing to deliver and no event below the bound: the
+                # worker would only report its state back unchanged, so
+                # skip the wakeup entirely. This is the protocol's null
+                # message, elided. (Safe for arena recycling too: a shard
+                # with staged payloads pending is never skipped, so halves
+                # are always drained one round after they were filled.)
+                self.null_grants += 1
+                continue
+            msgs = sorted(self.pending[i], key=lambda m: (m[1], m[2]))
+            self.pending[i] = []
+            self.cmds[i].send(("window", bounds[i], parity, msgs))
+            granted.append(i)
+        self.rounds += 1
+        for i in granted:
+            reply = self._recv(i)
+            _, _, peek, outbox, nevents, flag, done_time = reply
+            self.next_time[i] = peek
+            self.events[i] = nevents
+            self.done_flags[i] = flag
+            self.done_times[i] = done_time
+            self._route(outbox)
+
+    def run_until(self, horizon: float) -> None:
+        """Window rounds up to ``horizon``, then one inclusive final phase.
+
+        Mirrors the sequential ``run(until=horizon)``: events strictly
+        below the horizon are processed in granted windows; the final
+        phase injects the leftover messages arriving exactly *at* the
+        horizon (later arrivals are dropped, exactly as the sequential run
+        leaves their delivery events unprocessed) and runs each shard
+        inclusively to the horizon.
+        """
+        while True:
+            gmin = min(self.effective_times())
+            if gmin >= horizon:
+                break
+            self.round(horizon)
+        leftover = False
+        for i in range(self.shards):
+            kept = [m for m in self.pending[i] if m[1] <= horizon]
+            if len(kept) != len(self.pending[i]):
+                leftover = True
+            msgs = sorted(kept, key=lambda m: (m[1], m[2]))
+            self.pending[i] = []
+            self.cmds[i].send(("until", horizon, msgs))
+        for i in range(self.shards):
+            reply = self._recv(i)
+            self.next_time[i] = reply[2]
+            if reply[3]:
+                leftover = True
+            self.events[i] = reply[4]
+            self.done_flags[i] = reply[5]
+            self.done_times[i] = reply[6]
+        self.leftover = leftover
+
+    def run_to_completion(self) -> float:
+        """Window rounds until every shard's rank programs finished.
+
+        Returns the global finish time (max over shards' local finishes)
+        and drains any in-flight messages arriving at or before it -- the
+        sequential run processes those deliveries too, since it only stops
+        once the last rank's completion event fires.
+        """
+        while not all(self.done_flags):
+            if min(self.effective_times()) == _INF:
+                raise SimulationError(
+                    "sharded run exhausted every schedule before the rank "
+                    "programs finished (deadlock?)"
+                )
+            self.round(None)
+        finished = [t for t in self.done_times if t is not None]
+        horizon = max(finished) if finished else 0.0
+        if any(m[1] <= horizon for queued in self.pending for m in queued):
+            self.run_until(horizon)
+        return horizon
+
+    def finish(self) -> List[dict]:
+        for i in range(self.shards):
+            self.cmds[i].send(("finish",))
+        payloads = []
+        for i in range(self.shards):
+            reply = self._recv(i)
+            assert reply[0] == "result"
+            payloads.append(reply[2])
+        return payloads
+
+
+def run_sharded_world(world, program, args, until: Optional[float] = None):
+    """Run ``world`` sharded; merge results, traces, clock and counters.
+
+    Called by :meth:`repro.mpi.world.MpiWorld.run` when the underlying
+    cluster was built with ``shards > 1``. Returns the per-rank result
+    list, bit-identical (results, merged trace, final clock, raised
+    errors) to what the sequential path would produce.
+    """
+    from multiprocessing import shared_memory
+
+    cluster = world.cluster
+    shards = cluster.shards
+    shard_map = cluster.shard_map
+    lookahead = cluster.fabric.lookahead
+    ctx = mp.get_context("fork")
+
+    shms = [
+        shared_memory.SharedMemory(create=True, size=_seg_bytes())
+        for _ in range(shards)
+    ]
+    shm_names = [s.name for s in shms]
+    cmds, rsps, workers = [], [], []
+    try:
+        for i in range(shards):
+            cmd_r, cmd_w = ctx.Pipe(duplex=False)
+            rsp_r, rsp_w = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(i, cluster._build_spec, world._build_spec, shard_map,
+                      shm_names, program, args, cmd_r, rsp_w),
+                name=f"repro-shard-{i}",
+                daemon=True,
+            )
+            proc.start()
+            cmd_r.close()
+            rsp_w.close()
+            cmds.append(cmd_w)
+            rsps.append(rsp_r)
+            workers.append(proc)
+
+        coord = _Coordinator(shards, lookahead, cmds, rsps)
+        coord.handshake()
+        if until is not None:
+            coord.run_until(float(until))
+            payloads = coord.finish()
+            if coord.leftover or any(t != _INF for t in coord.next_time):
+                final_now = float(until)
+            else:
+                # Every schedule drained before the horizon with nothing in
+                # flight: the sequential run(until=...) leaves the clock at
+                # the last processed event, not the horizon.
+                final_now = max(p["last_event"] for p in payloads)
+        else:
+            final_now = coord.run_to_completion()
+            payloads = coord.finish()
+        results = _merge(world, cluster, coord, payloads, final_now)
+        if until is not None and not all(p["done_ok"] for p in payloads):
+            from ..mpi.status import MpiError
+
+            raise MpiError(
+                f"rank programs not finished after {until} simulated "
+                "seconds (deadlock?)"
+            )
+        return results
+    finally:
+        for conn in cmds + rsps:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        for proc in workers:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=5)
+        for shm in shms:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+
+
+def _merge(world, cluster, coord: _Coordinator, payloads: List[dict],
+           final_now: float):
+    # Merge traces in shard order, then canonical (time-keyed) sort.
+    cluster.tracer.merge_from(
+        _TraceSource(p["intervals"], p["faults"]) for p in payloads
+    )
+    for i, p in enumerate(payloads):
+        PERF.merge(p["perf"])
+        PERF.bump(f"shard{i}_events", p["events"])
+    PERF.bump("shard_rounds", coord.rounds)
+    PERF.bump("shard_null_grants", coord.null_grants)
+    for kind, n in coord.msg_counts.items():
+        PERF.bump(f"shard_route_{kind}", n)
+
+    world.shard_stats = {
+        "shards": coord.shards,
+        "rounds": coord.rounds,
+        "null_grants": coord.null_grants,
+        "messages": dict(coord.msg_counts),
+        "events": [p["events"] for p in payloads],
+        "lookahead": coord.lookahead,
+    }
+
+    # The parent environment never ran: clear the replica bootstrap events
+    # it accumulated at construction and pin its clock to the merged final
+    # simulated time, so callers reading ``env.now`` (and gantt renderers)
+    # see exactly what the sequential run reports.
+    env = cluster.env
+    env._queue.clear()
+    env._imm.clear()
+    if final_now > env.now:
+        env._now = final_now
+
+    results: Dict[int, Any] = {}
+    for p in payloads:
+        for rank, value in p["results"].items():
+            results[rank] = _unship(value)
+    return [results.get(rank) for rank in range(world.size)]

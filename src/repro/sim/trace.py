@@ -87,6 +87,35 @@ class Tracer:
         self.intervals.clear()
         self.faults.clear()
 
+    # -- shard merging ---------------------------------------------------------
+    def canonical(self) -> tuple:
+        """The trace as two canonically ordered tuples (intervals, faults).
+
+        Sequential runs append records in processing order; a sharded run
+        collects the same records from several worker timelines. Sorting by
+        the full record key gives both the same canonical form, which is
+        what the shard trace-equality tests compare. ``repr`` stringifies
+        the meta tuple so heterogeneous meta values never raise on
+        comparison.
+        """
+        return (
+            tuple(sorted(self.intervals, key=_interval_key)),
+            tuple(sorted(self.faults, key=_fault_key)),
+        )
+
+    def merge_from(self, shards: Iterable["Tracer"]) -> None:
+        """Fold worker tracers in, keeping the result canonically ordered.
+
+        Existing records (normally none: the parent of a sharded run never
+        executes events itself) participate in the reordering so the merged
+        stream is one globally sorted timeline.
+        """
+        for other in shards:
+            self.intervals.extend(other.intervals)
+            self.faults.extend(other.faults)
+        self.intervals.sort(key=_interval_key)
+        self.faults.sort(key=_fault_key)
+
     # -- queries ---------------------------------------------------------------
     def by_engine(self, engine: str) -> List[Interval]:
         return [iv for iv in self.intervals if iv.engine == engine]
@@ -120,6 +149,14 @@ class Tracer:
             k = iv.engine if key == "engine" else iv.label
             out[k] = out.get(k, 0.0) + iv.duration
         return out
+
+
+def _interval_key(iv: Interval) -> tuple:
+    return (iv.start, iv.end, iv.engine, iv.label, repr(iv.meta))
+
+
+def _fault_key(fr: FaultRecord) -> tuple:
+    return (fr.time, fr.kind, fr.src, fr.dst, repr(fr.meta))
 
 
 def union_duration(spans: Iterable[Tuple[float, float]]) -> float:
