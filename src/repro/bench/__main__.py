@@ -22,7 +22,12 @@ import sys
 
 from .experiments import EXPERIMENTS
 from .parallel import run_many
-from .report import fault_stats_footer, perf_stats_footer, shard_stats_footer
+from .report import (
+    fault_stats_footer,
+    perf_stats_footer,
+    shard_stats_footer,
+    tune_stats_footer,
+)
 
 
 def main(argv=None) -> int:
@@ -97,6 +102,9 @@ def main(argv=None) -> int:
     faults = fault_stats_footer()
     if faults:
         print(faults)
+    tune = tune_stats_footer()
+    if tune:
+        print(tune)
     return 0
 
 

@@ -326,16 +326,22 @@ def ablation_chunk_size(scale: str = "full", verify: bool = False) -> dict:
     """Sweep the pipeline chunk size for a 4 MB vector transfer.
 
     Reproduces the tuning experiment behind the paper's statement that
-    64 KB was the optimal block size on their cluster.
+    64 KB was the optimal block size on their cluster. Each point is one
+    trial of the autotuner's own search engine (:mod:`repro.tune.search`),
+    so this ablation and ``python -m repro.tune search`` can never
+    disagree about what a chunk size costs.
     """
+    from ..tune.search import Candidate, trial_latency
+
     message = 4 * MiB if scale == "full" else 1 * MiB
     chunks = [8 * KiB, 16 * KiB, 32 * KiB, 64 * KiB, 128 * KiB,
               256 * KiB, 512 * KiB, 1 * MiB]
+    default = Candidate.default()
     points = []
     for chunk in chunks:
-        gpu_cfg = GpuNcConfig(chunk_bytes=chunk)
-        t = mv2_gpu_nc_latency(message, gpu_config=gpu_cfg, iterations=2,
-                               verify=verify)
+        cand = Candidate(chunk, default.pipeline_threshold,
+                         default.tbuf_chunks, default.use_plans)
+        t = trial_latency(message, cand, iterations=2, verify=verify)
         points.append({"size": chunk, "latency": t})
     best = min(points, key=lambda p: p["latency"])
     result = {"message_bytes": message, "points": points,

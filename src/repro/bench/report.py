@@ -15,6 +15,7 @@ __all__ = [
     "perf_stats_footer",
     "fault_stats_footer",
     "shard_stats_footer",
+    "tune_stats_footer",
 ]
 
 
@@ -64,6 +65,25 @@ def shard_stats_footer(snapshot: Optional[Dict[str, int]] = None) -> str:
     stats = PerfStats()
     stats.merge(snapshot)
     return stats.shard_footer()
+
+
+def tune_stats_footer(snapshot: Optional[Dict[str, int]] = None) -> str:
+    """One-line ``[tune: ...]`` summary; empty when tuning never engaged.
+
+    Reports tuning-table lookup traffic (hits/misses/LRU/nearest-bucket),
+    clamped chunk preferences, search trials and the provenance of every
+    table attached in this process. The paper-figure experiments run
+    tuning-disabled and print nothing.
+    """
+    from ..tune.table import active_provenance
+
+    if snapshot is None:
+        return PERF.tune_footer(active_provenance())
+    from ..perf.stats import PerfStats
+
+    stats = PerfStats()
+    stats.merge(snapshot)
+    return stats.tune_footer(active_provenance())
 
 
 def format_size(nbytes: int) -> str:

@@ -71,12 +71,20 @@ def mv2_gpu_nc_latency(
     gpu_config: Optional[GpuNcConfig] = None,
     iterations: int = 3,
     verify: bool = True,
+    shards: int = 1,
+    tuning=None,
 ) -> float:
-    """Median one-way latency (seconds) of the library design."""
+    """Median one-way latency (seconds) of the library design.
+
+    ``shards > 1`` runs the transfer on the sharded engine (bit-identical
+    simulated times); ``tuning`` attaches a tuning table to the world
+    (:class:`~repro.tune.table.TuningTable`, path, or ``True``), letting
+    the rendezvous pick its tuned chunk size at RTS time.
+    """
     rows = message_bytes // elem_bytes
     program = make_nc_program(rows, elem_bytes, iterations=iterations, verify=verify)
-    cluster = Cluster(2, cfg=cfg)
-    world = MpiWorld(cluster, gpu_config=gpu_config)
+    cluster = Cluster(2, cfg=cfg, shards=shards)
+    world = MpiWorld(cluster, gpu_config=gpu_config, tuning=tuning)
     results = world.run(program)
     return float(np.median(results[0]))
 

@@ -5,7 +5,7 @@ detection, datatype pack/unpack offloaded to the GPU, and the chunked
 five-stage pipeline (D2D pack -> D2H -> RDMA -> H2D -> D2D unpack).
 """
 
-from .config import GpuNcConfig
+from .config import GpuNcConfig, RecoveryConfig
 from .detect import buffer_location, is_device_ptr, is_host_ptr
 from .gpu_pack import gpu_pack_chunk, gpu_pack_cost, gpu_unpack_chunk
 from .pipeline import GpuNcEngine, LayoutPlan
@@ -13,6 +13,7 @@ from .staging import TbufPool
 
 __all__ = [
     "GpuNcConfig",
+    "RecoveryConfig",
     "GpuNcEngine",
     "LayoutPlan",
     "TbufPool",

@@ -8,9 +8,22 @@ is pool sizing and the ablation switches used by the benchmarks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import warnings
+from dataclasses import dataclass, field, fields, replace
 
 __all__ = ["GpuNcConfig", "RecoveryConfig"]
+
+
+def _checked_replace(cfg, kwargs):
+    """``dataclasses.replace`` with a clear error on unknown option names."""
+    valid = {f.name for f in fields(cfg)}
+    unknown = sorted(set(kwargs) - valid)
+    if unknown:
+        raise ValueError(
+            f"unknown {type(cfg).__name__} option(s) {unknown}; "
+            f"valid options: {sorted(valid)}"
+        )
+    return replace(cfg, **kwargs)
 
 
 @dataclass(frozen=True)
@@ -34,6 +47,12 @@ class GpuNcConfig:
     #: trace-equality tests pin this), so the switch exists for those
     #: tests and for debugging.
     use_plans: bool = True
+    #: Optional :class:`~repro.tune.table.TuningTable` consulted at RTS
+    #: time for a per-(layout, message-size) chunk preference; ``None``
+    #: (default) keeps the engine bit-identical to the untuned code.
+    #: ``MpiWorld(tuning=...)`` takes precedence over this field.
+    #: Excluded from equality/repr: the table is provenance, not a knob.
+    tuning_table: object = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.chunk_bytes <= 0:
@@ -42,9 +61,19 @@ class GpuNcConfig:
             raise ValueError("pipeline_threshold must be non-negative")
         if self.tbuf_chunks < 1:
             raise ValueError("tbuf_chunks must be >= 1")
+        if self.pipeline_threshold > self.chunk_bytes:
+            # Legal (messages under the threshold go unpipelined as one
+            # chunk regardless), but almost always a mistuned config: the
+            # threshold is meant as the "too small to pipeline" floor.
+            warnings.warn(
+                f"pipeline_threshold ({self.pipeline_threshold}) exceeds "
+                f"chunk_bytes ({self.chunk_bytes}); messages between the "
+                "two will be chunked below the no-pipeline floor",
+                stacklevel=3,
+            )
 
     def with_overrides(self, **kwargs) -> "GpuNcConfig":
-        return replace(self, **kwargs)
+        return _checked_replace(self, kwargs)
 
 
 @dataclass(frozen=True)
@@ -94,4 +123,4 @@ class RecoveryConfig:
             raise ValueError("max_attempts and watchdog_max_idle must be >= 1")
 
     def with_overrides(self, **kwargs) -> "RecoveryConfig":
-        return replace(self, **kwargs)
+        return _checked_replace(self, kwargs)

@@ -89,6 +89,16 @@ class GpuNcEngine:
         self.world = world
         self.config = config if config is not None else GpuNcConfig()
         self._resources: Dict[int, _EndpointResources] = {}
+        #: Resolved tuning table (or None = untuned, bit-identical engine).
+        self.tuning = getattr(world, "tuning", None)
+        # Device staging must fit the largest chunk the table may pick;
+        # without a table this is exactly the configured chunk size, so
+        # pool geometry (and therefore every trace) is unchanged.
+        self._staging_bytes = self.config.chunk_bytes
+        if self.tuning is not None:
+            self._staging_bytes = self.tuning.max_chunk_bytes(
+                floor=self.config.chunk_bytes
+            )
 
     # -- plumbing -----------------------------------------------------------------
     def resources(self, endpoint: "Endpoint") -> _EndpointResources:
@@ -100,7 +110,7 @@ class GpuNcEngine:
                 d2h=cuda.stream(f"rank{endpoint.rank}.d2h"),
                 h2d=cuda.stream(f"rank{endpoint.rank}.h2d"),
                 unpack=cuda.stream(f"rank{endpoint.rank}.unpack"),
-                tbufs=TbufPool(cuda, self.config.chunk_bytes, self.config.tbuf_chunks),
+                tbufs=TbufPool(cuda, self._staging_bytes, self.config.tbuf_chunks),
             )
             self._resources[endpoint.rank] = res
         return res
@@ -120,6 +130,23 @@ class GpuNcEngine:
         chunk = granted if granted else self.config.chunk_bytes
         nchunks = max(1, math.ceil(total / chunk)) if total else 1
         return chunk, nchunks
+
+    def _tuned_pref(self, endpoint, dtype, count: int,
+                    total: int) -> Optional[int]:
+        """The tuning table's chunk preference for this transfer, or None.
+
+        None (no table, or no entry for this layout class) keeps the
+        static ``config.chunk_bytes`` -- the untuned engine, bit-identical
+        to pre-tuning behaviour. A tuned preference is clamped to the
+        staging capacity actually allocated on both sides (tbuf chunk size
+        and the host vbuf size the receiver will check the RTS against).
+        """
+        if self.tuning is None:
+            return None
+        from ..tune.table import tuned_chunk_pref
+
+        cap = min(self._staging_bytes, endpoint.send_vbufs.buf_bytes)
+        return tuned_chunk_pref(self.tuning, dtype, count, total, cap)
 
     # ------------------------------------------------------------------------
     # Sender side
@@ -151,7 +178,9 @@ class GpuNcEngine:
     def _send_proc(self, endpoint, envelope, buf, count, dtype, req):
         env = endpoint.env
         total = envelope.size_bytes
-        chunk, nchunks = self._chunking(total)
+        chunk, nchunks = self._chunking(
+            total, granted=self._tuned_pref(endpoint, dtype, count, total)
+        )
         plan = LayoutPlan.of(dtype, count)
         res = self.resources(endpoint)
         # Compiled replay path: strided offloaded sends walk a cached

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import itertools
 from collections import OrderedDict
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -251,6 +251,7 @@ class Datatype:
         "_seg_cache",
         "_slice_cache",
         "_plan_cache",
+        "_sig_cache",
     )
 
     def __init__(
@@ -289,6 +290,8 @@ class Datatype:
         )
         # (version, count, chunk_bytes, src_kind, dst_kind) -> TransferPlan
         self._plan_cache: "OrderedDict[tuple, object]" = OrderedDict()
+        # (version, count) -> LayoutSignature (tuning-table key; tiny).
+        self._sig_cache: Dict[tuple, object] = {}
 
     # -- primitives --------------------------------------------------------------
     @classmethod
@@ -782,6 +785,7 @@ class Datatype:
         self._seg_cache.clear()
         self._slice_cache.clear()
         self._plan_cache.clear()
+        self._sig_cache.clear()
         self.version += 1
         PERF.bump("cache_invalidation")
 
@@ -792,6 +796,29 @@ class Datatype:
     def uniform_for_count(self, count: int) -> Optional[Tuple[int, int, int]]:
         """Uniform (width, height, pitch) for ``count`` elements, or None."""
         return self.segments_for_count(count).uniform()
+
+    def layout_signature(self, count: int = 1):
+        """Canonical :class:`~repro.tune.signature.LayoutSignature` of
+        ``count`` elements of this type -- the tuning-table key.
+
+        Derived from the compiled segments, so differently *constructed*
+        but identically *laid out* types (a ``dup``, a no-op ``resized``,
+        an equivalent struct) share a signature, while types with
+        different byte layouts never do. Cached under the same
+        ``(version, count)`` scoping as the segment caches: a derivation
+        invalidates it together with the compilations it was computed
+        from.
+        """
+        from ..tune.signature import signature_of_segments
+
+        key = (self.version, count)
+        sig = self._sig_cache.get(key)
+        if sig is None:
+            sig = signature_of_segments(self.segments_for_count(count))
+            if len(self._sig_cache) > 64:
+                self._sig_cache.clear()
+            self._sig_cache[key] = sig
+        return sig
 
     def span_for_count(self, count: int) -> int:
         """Bytes of buffer spanned by ``count`` elements (for bounds checks)."""

@@ -209,6 +209,11 @@ class Endpoint:
         #: on request; every recovery code path is gated on it so the
         #: disarmed schedule is bit-identical to the pre-recovery one.
         self.recovery: Optional[Any] = None
+        #: Tuning table (:class:`repro.tune.table.TuningTable`) or None.
+        #: Set by the world; consulted at RTS time for a per-(layout,
+        #: message-size) chunk preference. None = untuned, bit-identical
+        #: to the pre-tuning engine.
+        self.tuning: Optional[Any] = None
         #: SSNs whose RTS this endpoint has already processed (armed only;
         #: duplicate-RTS suppression must engage before matching).
         self.rts_seen: set = set()

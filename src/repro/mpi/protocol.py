@@ -720,6 +720,18 @@ def _rdv_send_host(endpoint, envelope, buf, count, datatype, req):
     ssn = endpoint.new_ssn()
     contiguous = datatype.is_contiguous
     chunk_pref = 0 if contiguous else endpoint.send_vbufs.buf_bytes
+    if not contiguous and endpoint.tuning is not None:
+        # Tuned chunk preference for this (layout, size) class; the
+        # receiver clamps to its own vbuf size, so the cap here only has
+        # to cover our side. No table => untouched legacy preference.
+        from ..tune.table import tuned_chunk_pref
+
+        tuned = tuned_chunk_pref(
+            endpoint.tuning, datatype, count, total,
+            endpoint.send_vbufs.buf_bytes,
+        )
+        if tuned:
+            chunk_pref = tuned
     state = SendState(endpoint=endpoint, ssn=ssn, dst=envelope.dst)
     endpoint.send_states[ssn] = state
     rts_payload = {

@@ -66,6 +66,7 @@ class MpiWorld:
         vbuf_bytes: Optional[int] = None,
         vbuf_count: int = 256,
         recovery=None,
+        tuning=None,
     ):
         self.cluster = cluster
         self.size = nprocs if nprocs is not None else cluster.num_nodes
@@ -83,6 +84,7 @@ class MpiWorld:
             "vbuf_bytes": vbuf_bytes,
             "vbuf_count": vbuf_count,
             "recovery": recovery,
+            "tuning": tuning,
         }
         #: Filled by a sharded run with coordinator statistics (rounds,
         #: cross-shard message counts, per-shard event totals).
@@ -93,8 +95,20 @@ class MpiWorld:
 
             gpu_config = GpuNcConfig()
         self.gpu_config = gpu_config
+
+        # Tuning table resolution: the ``tuning`` argument wins over
+        # ``gpu_config.tuning_table``; ``False`` forces tuning off even
+        # when the config carries a table; ``True`` or a path loads the
+        # persisted table (validated against this cluster's config hash).
+        # With no table the engine is bit-identical to the untuned code.
+        self.tuning = self._resolve_tuning(tuning, gpu_config)
+
         if vbuf_bytes is None:
             vbuf_bytes = gpu_config.chunk_bytes
+            if self.tuning is not None:
+                # Host staging must fit the largest tuned chunk, or the
+                # receiver would reject the sender's tuned preference.
+                vbuf_bytes = self.tuning.max_chunk_bytes(floor=vbuf_bytes)
 
         # Recovery policy: ``None`` auto-arms a default RecoveryConfig iff
         # the cluster injects faults (a fabric under fault injection without
@@ -123,6 +137,7 @@ class MpiWorld:
                 vbuf_bytes=vbuf_bytes, vbuf_count=vbuf_count,
             )
             ep.recovery = self.recovery
+            ep.tuning = self.tuning
             install_protocol(ep)
             self.endpoints.append(ep)
             rank_to_node[rank] = node.node_id
@@ -152,6 +167,23 @@ class MpiWorld:
             )
             for ep in self.endpoints
         ]
+
+    def _resolve_tuning(self, tuning, gpu_config):
+        """Normalize the ``tuning`` argument to a TuningTable or None."""
+        if tuning is False:
+            return None
+        if tuning is None:
+            tuning = gpu_config.tuning_table
+            if tuning is None:
+                return None
+        from ..tune.table import TuningTable, cluster_config_hash, table_path
+
+        if isinstance(tuning, TuningTable):
+            return tuning
+        expect = cluster_config_hash(self.cfg)
+        if tuning is True:
+            return TuningTable.load(table_path(expect), expect_cluster=expect)
+        return TuningTable.load(tuning, expect_cluster=expect)
 
     def context(self, rank: int) -> RankContext:
         return self.contexts[rank]

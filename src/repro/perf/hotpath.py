@@ -22,9 +22,11 @@ __all__ = [
     "hotpath_file",
     "pipeline_file",
     "shard_file",
+    "tune_file",
     "load",
     "record_wallclock",
     "record_shard_wallclock",
+    "record_tuned_comparison",
     "record_pack_throughput",
     "record_sim_throughput",
 ]
@@ -32,6 +34,7 @@ __all__ = [
 _DEFAULT_NAME = "BENCH_hotpath.json"
 _PIPELINE_NAME = "BENCH_pipeline.json"
 _SHARD_NAME = "BENCH_shard.json"
+_TUNE_NAME = "BENCH_tune.json"
 
 
 def _resolve(env_var: str, default_name: str) -> Path:
@@ -72,6 +75,19 @@ def shard_file() -> Path:
     experiment).
     """
     return _resolve("REPRO_BENCH_SHARD", _SHARD_NAME)
+
+
+def tune_file() -> Path:
+    """Resolve ``BENCH_tune.json``: ``$REPRO_BENCH_TUNE`` or repo root.
+
+    A comparison ledger like the shard file, but over *simulated* seconds:
+    each entry pins the 64 KB-default latency (``before``) against the
+    tuned-table latency (``after``) for one (experiment, size-bucket) key,
+    written by ``python -m repro.tune apply``. ``speedup`` >= 1.0 is the
+    Hunold-style guideline (tuned no slower than default) the CI smoke
+    job asserts.
+    """
+    return _resolve("REPRO_BENCH_TUNE", _TUNE_NAME)
 
 
 def load(path: Optional[Path] = None) -> dict:
@@ -141,6 +157,35 @@ def record_shard_wallclock(
     if entry["after"] > 0:
         entry["speedup"] = round(entry["before"] / entry["after"], 2)
     _save(data, path or shard_file())
+    return entry
+
+
+def record_tuned_comparison(
+    name: str,
+    default_seconds: float,
+    tuned_seconds: float,
+    chunk_bytes: int,
+    table: str,
+    path: Optional[Path] = None,
+) -> dict:
+    """Record one default-vs-tuned simulated-latency pair in the tune ledger.
+
+    Both numbers come from the same ``repro.tune apply`` run: ``before``
+    is the static 64 KB-default config, ``after`` the config the attached
+    tuning table selected (whose ``chunk_bytes`` and provenance are
+    recorded alongside). Simulated seconds, not wall-clock -- re-running
+    on a different machine reproduces them exactly.
+    """
+    data = load(path or tune_file())
+    experiments: Dict[str, dict] = data.setdefault("experiments", {})
+    entry = experiments.setdefault(name, {})
+    entry["before"] = round(default_seconds, 9)
+    entry["after"] = round(tuned_seconds, 9)
+    entry["chunk_bytes"] = chunk_bytes
+    entry["table"] = table
+    if entry["after"] > 0:
+        entry["speedup"] = round(entry["before"] / entry["after"], 3)
+    _save(data, path or tune_file())
     return entry
 
 

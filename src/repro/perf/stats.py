@@ -64,6 +64,22 @@ recovery layer; all zero unless a FaultPlan or RecoveryConfig is armed)
     Chunks that fell off the GPU-offload path onto the strided-PCIe host
     path when device staging timed out; bounded vbuf-acquisition waits
     that expired and were retried.
+
+Tuning counters (:mod:`repro.tune`; all zero unless a table is attached)
+--------------------------------------------------------------------------
+``tune_lookup_hit`` / ``tune_lookup_miss``
+    Rendezvous transfers that resolved a tuned entry for their (layout
+    signature, size bucket) vs. fell back to the static config.
+``tune_lru_hit``
+    Lookups served from the table's in-memory resolution LRU (a subset of
+    the hits/misses above -- repeated shapes pay the table scan once).
+``tune_nearest_bucket``
+    Resolutions that landed on a neighbouring size bucket of the same
+    layout class rather than an exact bucket entry.
+``tune_chunk_clamped``
+    Tuned chunk sizes clamped down to the allocated staging-buffer size.
+``tune_trial``
+    Simulated trials evaluated by the offline search engine.
 """
 
 from __future__ import annotations
@@ -176,6 +192,34 @@ class PerfStats:
             f"{c['shard_payload_inline_bytes']} B inline",
         ]
         return "[shard: " + ", ".join(parts) + "]"
+
+    #: Counters that appear in the tune footer (order matters for output).
+    TUNE_COUNTERS = (
+        "tune_lookup_hit", "tune_lookup_miss", "tune_lru_hit",
+        "tune_nearest_bucket", "tune_chunk_clamped", "tune_trial",
+    )
+
+    def tune_footer(self, provenance: str = "") -> str:
+        """The one-line ``[tune: ...]`` footer; empty when tuning never ran.
+
+        ``provenance`` (the attached tables' origin, from
+        :func:`repro.tune.table.active_provenance`) is appended so a
+        benchmark line always says *which* table produced its numbers.
+        """
+        c = self.counters
+        if not any(c[name] for name in self.TUNE_COUNTERS):
+            return ""
+        looked = c["tune_lookup_hit"] + c["tune_lookup_miss"]
+        parts = [
+            f"lookups {c['tune_lookup_hit']}/{looked} hit",
+            f"{c['tune_lru_hit']} lru / {c['tune_nearest_bucket']} nearest",
+            f"{c['tune_chunk_clamped']} clamped",
+        ]
+        if c["tune_trial"]:
+            parts.append(f"{c['tune_trial']} search trials")
+        if provenance:
+            parts.append(f"table {provenance}")
+        return "[tune: " + ", ".join(parts) + "]"
 
     def fault_footer(self) -> str:
         """The one-line ``[faults: ...]`` footer; empty when nothing fired.

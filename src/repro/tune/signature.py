@@ -1,0 +1,111 @@
+"""Canonical layout signatures: the tuning-table key.
+
+TEMPI (Pearson et al.) showed that a *canonical representation* of a
+CUDA-aware datatype -- not the datatype object itself -- is the right key
+for per-layout specialization: ``dup``/``resized`` variants, differently
+constructed but identical typemaps, and repeated counts of the same shape
+must all land on the same tuning entry, while genuinely different layouts
+must not.
+
+Our canonical form is derived from the engine's own compiled-segment
+representation (:class:`repro.mpi.datatype.SegmentList`), which already
+collapses the constructor algebra to byte runs:
+
+* ``contig``    -- one run: transfers degenerate to 1-D copies.
+* ``uniform``   -- equal-length, equal-pitch runs ``(width, pitch)``: the
+  ``cudaMemcpy2D``-able class, fully described by two integers.
+* ``irregular`` -- everything else, classed by the log2 bucket of its
+  segment count and by the common run width when one exists.
+
+A signature never contains the element *count* or the message size; those
+are folded into a separate power-of-two **size bucket**
+(:func:`size_bucket`), so one table entry covers a band of message sizes
+exactly like MVAPICH2's per-message-size tuning tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["LayoutSignature", "signature_of_segments", "size_bucket"]
+
+
+def size_bucket(nbytes: int) -> int:
+    """The power-of-two bucket a message of ``nbytes`` falls into.
+
+    Buckets are geometric (nearest power of two in log space), mirroring
+    the per-message-size rows of real MPI tuning tables. Zero-byte
+    messages share the 1-byte bucket (nothing to tune there anyway).
+    """
+    if nbytes < 0:
+        raise ValueError("nbytes must be non-negative")
+    if nbytes <= 1:
+        return 1
+    return 1 << int(round(math.log2(nbytes)))
+
+
+def _log2_bucket(n: int) -> int:
+    """Integer log2 class of a positive count (0 for empty)."""
+    return n.bit_length() - 1 if n > 0 else 0
+
+
+@dataclass(frozen=True)
+class LayoutSignature:
+    """Canonical shape class of a flattened datatype layout.
+
+    ``kind`` is one of ``"contig"``, ``"uniform"``, ``"irregular"``;
+    ``width``/``pitch`` describe the uniform 2-D pattern (both 0 for
+    irregular layouts with mixed run lengths); ``nseg_class`` is the log2
+    bucket of the segment count (0 for contig/uniform, where the count is
+    message-size dependent, not shape dependent).
+    """
+
+    kind: str
+    width: int = 0
+    pitch: int = 0
+    nseg_class: int = 0
+
+    def key(self) -> str:
+        """Stable string form used in table JSON (and human-readable)."""
+        if self.kind == "contig":
+            return "contig"
+        if self.kind == "uniform":
+            return f"uniform:w{self.width}:p{self.pitch}"
+        return f"irregular:w{self.width}:n{self.nseg_class}"
+
+    @classmethod
+    def from_key(cls, key: str) -> "LayoutSignature":
+        """Inverse of :meth:`key` (used when loading persisted tables)."""
+        parts = key.split(":")
+        if parts[0] == "contig" and len(parts) == 1:
+            return cls("contig")
+        try:
+            if parts[0] == "uniform" and len(parts) == 3:
+                return cls("uniform", width=int(parts[1][1:]),
+                           pitch=int(parts[2][1:]))
+            if parts[0] == "irregular" and len(parts) == 3:
+                return cls("irregular", width=int(parts[1][1:]),
+                           nseg_class=int(parts[2][1:]))
+        except ValueError:
+            pass
+        raise ValueError(f"malformed layout-signature key {key!r}")
+
+
+def signature_of_segments(segs) -> LayoutSignature:
+    """Classify a :class:`~repro.mpi.datatype.SegmentList`.
+
+    Reuses the SegmentList's memoized uniformity analysis, so computing a
+    signature on a cached compilation costs two attribute reads.
+    """
+    if segs.count <= 1:
+        return LayoutSignature("contig")
+    uniform = segs.uniform()
+    if uniform is not None:
+        width, _height, pitch = uniform
+        return LayoutSignature("uniform", width=width, pitch=pitch)
+    lens = segs.lengths
+    width = int(lens[0]) if bool((lens == lens[0]).all()) else 0
+    return LayoutSignature(
+        "irregular", width=width, nseg_class=_log2_bucket(segs.count)
+    )

@@ -1,0 +1,313 @@
+"""Persisted tuning tables: versioned JSON keyed by layout + size bucket.
+
+A :class:`TuningTable` maps ``(layout signature, message-size bucket)`` to
+the :class:`~repro.core.config.GpuNcConfig` knob values the offline search
+(:mod:`repro.tune.search`) found best for that class of transfer, exactly
+like MVAPICH2's per-message-size tuning tables. Tables are additionally
+keyed by a **cluster config hash** -- a digest of every calibrated
+:class:`~repro.hw.config.HardwareConfig` constant -- so a table tuned for
+one hardware model is never silently applied to another.
+
+Runtime lookups (:meth:`TuningTable.lookup`) resolve the exact bucket
+first, then the *nearest* bucket of the same layout class (geometric
+distance in log2 space), and cache resolutions in a small in-memory LRU so
+a message stream with a stable shape pays the scan once. Lookup traffic is
+reported through the ``tune_*`` counters of :data:`repro.perf.stats.PERF`
+and surfaces in the ``[tune:]`` benchmark footer.
+
+Tables persist under ``tuning/`` at the repo root as
+``tuning/<cluster-hash>.json`` (override with ``$REPRO_TUNING_DIR``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from dataclasses import asdict, dataclass, fields
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from ..perf.stats import PERF
+from .signature import LayoutSignature, size_bucket
+
+__all__ = [
+    "TuningEntry",
+    "TuningTable",
+    "TuningTableError",
+    "cluster_config_hash",
+    "tuning_dir",
+    "table_path",
+    "tuned_chunk_pref",
+    "active_provenance",
+]
+
+#: Bump when the on-disk layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Lookup-resolution LRU capacity per table.
+LOOKUP_LRU_CAP = 128
+
+
+class TuningTableError(ValueError):
+    """Malformed, wrong-schema or wrong-cluster tuning table."""
+
+
+def cluster_config_hash(cfg) -> str:
+    """Digest of every calibrated constant of a ``HardwareConfig``.
+
+    Field-name-qualified so that reordering fields or adding new ones
+    changes the hash (a new timing constant means old tables were tuned
+    for a different machine model).
+    """
+    parts = [f"{f.name}={getattr(cfg, f.name)!r}" for f in fields(cfg)]
+    digest = hashlib.sha256(";".join(sorted(parts)).encode())
+    return digest.hexdigest()[:12]
+
+
+def tuning_dir() -> Path:
+    """``$REPRO_TUNING_DIR`` or ``tuning/`` at the repo root."""
+    env = os.environ.get("REPRO_TUNING_DIR")
+    if env:
+        return Path(env)
+    # Repo root = three levels above src/repro/tune/.
+    root = Path(__file__).resolve().parents[3]
+    if root.is_dir():
+        return root / "tuning"
+    return Path.cwd() / "tuning"  # pragma: no cover - installed package
+
+
+def table_path(cluster_hash: str) -> Path:
+    """Canonical on-disk location of one cluster's table."""
+    return tuning_dir() / f"{cluster_hash}.json"
+
+
+@dataclass(frozen=True)
+class TuningEntry:
+    """Tuned knob values for one (layout, size-bucket) key."""
+
+    chunk_bytes: int
+    pipeline_threshold: int
+    tbuf_chunks: int
+    use_plans: bool
+    #: Simulated one-way latency of the tuned and the default config on
+    #: the search workload (provenance; not consulted at runtime).
+    latency: float = 0.0
+    default_latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.chunk_bytes <= 0:
+            raise TuningTableError(
+                f"tuned chunk_bytes must be positive, got {self.chunk_bytes}"
+            )
+        if self.tbuf_chunks < 1:
+            raise TuningTableError("tuned tbuf_chunks must be >= 1")
+
+
+def _entry_key(sig_key: str, bucket: int) -> str:
+    return f"{sig_key}|s{bucket}"
+
+
+def _split_key(key: str) -> Tuple[str, int]:
+    sig_key, _, bucket = key.rpartition("|s")
+    try:
+        return sig_key, int(bucket)
+    except ValueError:
+        raise TuningTableError(f"malformed tuning-table key {key!r}") from None
+
+
+#: Provenance strings of tables loaded/attached this process, for the
+#: ``[tune:]`` footer (reset alongside PERF by the bench harness).
+_PROVENANCE: "OrderedDict[str, None]" = OrderedDict()
+
+
+def active_provenance() -> str:
+    """Comma-joined provenance of every table used so far (may be '')."""
+    return ", ".join(_PROVENANCE)
+
+
+def _note_provenance(text: str) -> None:
+    _PROVENANCE[text] = None
+    while len(_PROVENANCE) > 8:  # keep the footer bounded
+        _PROVENANCE.popitem(last=False)
+
+
+class TuningTable:
+    """In-memory tuning table with nearest-bucket lookup and an LRU."""
+
+    def __init__(
+        self,
+        cluster_hash: str,
+        entries: Optional[Dict[str, TuningEntry]] = None,
+        meta: Optional[dict] = None,
+        source: str = "<memory>",
+    ):
+        self.cluster_hash = cluster_hash
+        #: full key ("<sig>|s<bucket>") -> TuningEntry
+        self.entries: Dict[str, TuningEntry] = dict(entries or {})
+        #: search parameters / creation info, persisted verbatim.
+        self.meta: dict = dict(meta or {})
+        self.source = source
+        self._lru: "OrderedDict[Tuple[str, int], Optional[TuningEntry]]" = (
+            OrderedDict()
+        )
+        _note_provenance(self.provenance())
+
+    # -- construction -------------------------------------------------------
+    def set(self, sig: LayoutSignature, bucket: int, entry: TuningEntry) -> None:
+        self.entries[_entry_key(sig.key(), bucket)] = entry
+        self._lru.clear()
+
+    def provenance(self) -> str:
+        """One-phrase origin tag for footers: source file + cluster hash."""
+        return f"{Path(self.source).name}@{self.cluster_hash}"
+
+    def max_chunk_bytes(self, floor: int = 0) -> int:
+        """Largest tuned chunk (>= ``floor``): sizes staging pools."""
+        chunks = [e.chunk_bytes for e in self.entries.values()]
+        return max(chunks + [floor]) if chunks else floor
+
+    # -- lookup -------------------------------------------------------------
+    def lookup(self, sig: LayoutSignature, total_bytes: int) -> Optional[TuningEntry]:
+        """Entry for a transfer of ``total_bytes`` with layout ``sig``.
+
+        Exact ``(signature, bucket)`` first; otherwise the nearest bucket
+        of the *same* layout signature by log2 distance (ties prefer the
+        smaller bucket -- a too-small chunk only costs overhead, a
+        too-large one can exceed staging buffers). Returns None when the
+        layout class has no entry at all. Resolutions (including misses)
+        are cached in the in-memory LRU.
+        """
+        bucket = size_bucket(total_bytes)
+        key = (sig.key(), bucket)
+        if key in self._lru:
+            self._lru.move_to_end(key)
+            PERF.bump("tune_lru_hit")
+            return self._lru[key]
+        entry = self.entries.get(_entry_key(*key))
+        if entry is None:
+            entry = self._nearest(sig.key(), bucket)
+        self._lru[key] = entry
+        if len(self._lru) > LOOKUP_LRU_CAP:
+            self._lru.popitem(last=False)
+        return entry
+
+    def _nearest(self, sig_key: str, bucket: int) -> Optional[TuningEntry]:
+        best = None
+        best_rank = None
+        for key, entry in self.entries.items():
+            entry_sig, entry_bucket = _split_key(key)
+            if entry_sig != sig_key:
+                continue
+            distance = abs(
+                entry_bucket.bit_length() - bucket.bit_length()
+            )
+            rank = (distance, entry_bucket)
+            if best_rank is None or rank < best_rank:
+                best, best_rank = entry, rank
+        if best is not None:
+            PERF.bump("tune_nearest_bucket")
+        return best
+
+    # -- persistence --------------------------------------------------------
+    def to_json(self) -> dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "cluster": self.cluster_hash,
+            "meta": self.meta,
+            "entries": {
+                key: asdict(entry)
+                for key, entry in sorted(self.entries.items())
+            },
+        }
+
+    @classmethod
+    def from_json(cls, data: dict, source: str = "<memory>") -> "TuningTable":
+        if not isinstance(data, dict) or data.get("schema") != SCHEMA_VERSION:
+            raise TuningTableError(
+                f"{source}: expected tuning-table schema {SCHEMA_VERSION}, "
+                f"got {data.get('schema') if isinstance(data, dict) else data!r}"
+            )
+        entries = {}
+        for key, raw in data.get("entries", {}).items():
+            sig_key, bucket = _split_key(key)
+            LayoutSignature.from_key(sig_key)  # validates the shape part
+            if bucket < 1:
+                raise TuningTableError(f"{source}: bad size bucket in {key!r}")
+            try:
+                entries[key] = TuningEntry(**raw)
+            except TypeError as exc:
+                raise TuningTableError(f"{source}: entry {key!r}: {exc}") from None
+        return cls(
+            str(data.get("cluster", "")), entries,
+            meta=data.get("meta"), source=source,
+        )
+
+    @classmethod
+    def load(cls, path, expect_cluster: Optional[str] = None) -> "TuningTable":
+        """Load and validate a persisted table.
+
+        ``expect_cluster`` (the hash of the cluster about to use the
+        table) turns a hardware-model mismatch into a loud error instead
+        of silently mistuned transfers.
+        """
+        path = Path(path)
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except OSError as exc:
+            raise TuningTableError(f"cannot read tuning table {path}: {exc}")
+        except ValueError as exc:
+            raise TuningTableError(f"{path} is not valid JSON: {exc}")
+        table = cls.from_json(data, source=str(path))
+        if expect_cluster is not None and table.cluster_hash != expect_cluster:
+            raise TuningTableError(
+                f"{path} was tuned for cluster {table.cluster_hash}, this "
+                f"cluster hashes to {expect_cluster}"
+            )
+        return table
+
+    def save(self, path=None) -> Path:
+        """Write the table (default: ``tuning/<cluster-hash>.json``)."""
+        path = Path(path) if path is not None else table_path(self.cluster_hash)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as fh:
+            json.dump(self.to_json(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        _PROVENANCE.pop(self.provenance(), None)  # retag under the new name
+        self.source = str(path)
+        _note_provenance(self.provenance())
+        return path
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<TuningTable cluster={self.cluster_hash} "
+            f"entries={len(self.entries)} source={self.source}>"
+        )
+
+
+def tuned_chunk_pref(table, datatype, count: int, total_bytes: int,
+                     cap: int) -> Optional[int]:
+    """Resolve the tuned chunk preference for one transfer, or None.
+
+    The shared runtime hook of :mod:`repro.mpi.protocol` and
+    :mod:`repro.core.pipeline`: signature lookup, hit/miss accounting and
+    clamping to ``cap`` (the staging-buffer size actually allocated --
+    a table tuned with bigger pools must not overflow smaller ones).
+    Returns None on a miss so callers fall back to the static config; with
+    ``table`` None this function is never called (the no-table path stays
+    bit-identical to the pre-tuning engine).
+    """
+    entry = table.lookup(datatype.layout_signature(count), total_bytes)
+    if entry is None:
+        PERF.bump("tune_lookup_miss")
+        return None
+    PERF.bump("tune_lookup_hit")
+    chunk = min(entry.chunk_bytes, cap)
+    if chunk < entry.chunk_bytes:
+        PERF.bump("tune_chunk_clamped")
+    return chunk

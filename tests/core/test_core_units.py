@@ -43,8 +43,31 @@ class TestConfig:
             GpuNcConfig(**kwargs)
 
     def test_with_overrides(self):
-        cfg = GpuNcConfig().with_overrides(chunk_bytes=4096)
+        with pytest.warns(UserWarning, match="pipeline_threshold"):
+            cfg = GpuNcConfig().with_overrides(chunk_bytes=4096)
         assert cfg.chunk_bytes == 4096
+
+    def test_threshold_above_chunk_warns(self):
+        with pytest.warns(UserWarning, match="exceeds chunk_bytes"):
+            GpuNcConfig(chunk_bytes=8 * 1024, pipeline_threshold=64 * 1024)
+
+    def test_threshold_at_or_below_chunk_is_silent(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            GpuNcConfig(chunk_bytes=64 * 1024, pipeline_threshold=64 * 1024)
+            GpuNcConfig(chunk_bytes=128 * 1024, pipeline_threshold=64 * 1024)
+
+    def test_with_overrides_unknown_key(self):
+        with pytest.raises(ValueError, match="unknown GpuNcConfig option"):
+            GpuNcConfig().with_overrides(chunk_size=4096)
+
+    def test_recovery_with_overrides_unknown_key(self):
+        from repro.core import RecoveryConfig
+
+        with pytest.raises(ValueError, match="unknown RecoveryConfig option"):
+            RecoveryConfig().with_overrides(rmda_timeout=1e-3)
 
 
 class TestDetection:

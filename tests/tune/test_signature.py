@@ -1,0 +1,102 @@
+"""Layout signatures: canonicalization, buckets, Datatype integration."""
+
+import pytest
+
+from repro.mpi import BYTE, Datatype
+from repro.tune import LayoutSignature, size_bucket
+
+
+class TestSizeBucket:
+    def test_degenerate(self):
+        assert size_bucket(0) == 1
+        assert size_bucket(1) == 1
+
+    def test_exact_powers(self):
+        for p in (1, 4, 10, 16, 20):
+            assert size_bucket(1 << p) == 1 << p
+
+    def test_nearest_in_log_space(self):
+        # 3 is closer to 4 than to 2 in log space (1.58 vs 1 and 2).
+        assert size_bucket(3) == 4
+        assert size_bucket(5) == 4
+        assert size_bucket(6) == 8
+        assert size_bucket(96 * 1024) == 128 * 1024
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            size_bucket(-1)
+
+
+class TestKeyRoundtrip:
+    @pytest.mark.parametrize(
+        "sig",
+        [
+            LayoutSignature("contig"),
+            LayoutSignature("uniform", width=4, pitch=8),
+            LayoutSignature("irregular", width=0, nseg_class=7),
+            LayoutSignature("irregular", width=16, nseg_class=3),
+        ],
+    )
+    def test_roundtrip(self, sig):
+        assert LayoutSignature.from_key(sig.key()) == sig
+
+    @pytest.mark.parametrize(
+        "key", ["", "bogus", "uniform:w4", "uniform:4:8", "irregular:wx:n3"]
+    )
+    def test_malformed_rejected(self, key):
+        with pytest.raises(ValueError):
+            LayoutSignature.from_key(key)
+
+
+class TestDatatypeSignatures:
+    """The satellite requirement: identical layouts share a signature,
+    differing layouts never do -- across ``dup``/``resized`` derivation."""
+
+    def test_contiguous_is_contig(self):
+        sig = Datatype.contiguous(64, BYTE).commit().layout_signature(1)
+        assert sig.kind == "contig"
+
+    def test_hvector_is_uniform(self):
+        vec = Datatype.hvector(128, 4, 8, BYTE).commit()
+        sig = vec.layout_signature(1)
+        assert sig == LayoutSignature("uniform", width=4, pitch=8)
+
+    def test_dup_shares_signature(self):
+        vec = Datatype.hvector(128, 4, 8, BYTE).commit()
+        assert Datatype.dup(vec).layout_signature(1) == vec.layout_signature(1)
+
+    def test_noop_resized_shares_signature(self):
+        vec = Datatype.hvector(16, 4, 8, BYTE).commit()
+        same = Datatype.resized(vec, vec.lb, vec.extent).commit()
+        # count > 1 so the extent actually participates in the tiling.
+        assert same.layout_signature(3) == vec.layout_signature(3)
+
+    def test_resized_extent_changes_signature(self):
+        vec = Datatype.hvector(16, 4, 8, BYTE).commit()
+        padded = Datatype.resized(vec, vec.lb, vec.extent + 32).commit()
+        assert padded.layout_signature(3) != vec.layout_signature(3)
+
+    def test_different_pitch_differs(self):
+        a = Datatype.hvector(64, 4, 8, BYTE).commit()
+        b = Datatype.hvector(64, 4, 16, BYTE).commit()
+        assert a.layout_signature(1) != b.layout_signature(1)
+
+    def test_irregular_layout(self):
+        idx = Datatype.hindexed([4, 8, 4], [0, 16, 40], BYTE).commit()
+        sig = idx.layout_signature(1)
+        assert sig.kind == "irregular"
+
+    def test_signature_excludes_message_size(self):
+        # Same shape at different element counts -> same signature (size
+        # lives in the bucket, not the signature).
+        small = Datatype.hvector(64, 4, 8, BYTE).commit()
+        large = Datatype.hvector(4096, 4, 8, BYTE).commit()
+        assert small.layout_signature(1) == large.layout_signature(1)
+
+    def test_signature_cached_and_invalidated(self):
+        vec = Datatype.hvector(64, 4, 8, BYTE).commit()
+        first = vec.layout_signature(1)
+        assert vec.layout_signature(1) is first  # cached
+        vec.invalidate_segment_cache()
+        again = vec.layout_signature(1)
+        assert again == first  # recomputed, equal
