@@ -12,9 +12,10 @@ as ``sim_throughput`` and guarded by ``tests/perf/test_sim_throughput.py``
 (>30% below the recorded figure fails the perf tier).
 """
 
+import os
 import time
 
-from repro.perf.hotpath import record_sim_throughput
+from repro.perf.hotpath import record_sim_throughput, record_wheel_baseline
 from repro.sim import Environment
 
 CHAINS = 64
@@ -23,6 +24,7 @@ WORKLOAD = (
     f"{CHAINS} timeout chains x {DEPTH} deep, half zero-delay "
     "(immediate lane), half positive-delay (heap)"
 )
+WHEEL_WORKLOAD = "fig5:quick, verify off, 1 iteration (sequential)"
 
 
 def run_workload(event_pooling: bool = True) -> Environment:
@@ -52,6 +54,32 @@ def measure_events_per_second(repeats: int = 3,
     return best
 
 
+def measure_fig5_wallclock(event_wheel: bool, repeats: int = 5) -> float:
+    """Best-of-N wall-clock for sequential fig5:quick, wheel on or off.
+
+    A full-fidelity workload (the real 5-stage pipeline, not a synthetic
+    timeout mesh): the guard on this pair enforces that the calendar
+    wheel never pessimizes a paper experiment relative to the pure-heap
+    hot loop it replaced.
+    """
+    from repro.bench.experiments import fig5_vector_latency
+
+    saved = os.environ.get("REPRO_SIM_WHEEL")
+    os.environ["REPRO_SIM_WHEEL"] = "1" if event_wheel else "0"
+    try:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fig5_vector_latency("quick", verify=False, iterations=1)
+            best = min(best, time.perf_counter() - start)
+        return best
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_SIM_WHEEL", None)
+        else:
+            os.environ["REPRO_SIM_WHEEL"] = saved
+
+
 def test_sim_event_throughput(benchmark):
     eps = benchmark.pedantic(measure_events_per_second, rounds=1, iterations=1)
     pooled_off = measure_events_per_second(repeats=1, event_pooling=False)
@@ -63,3 +91,18 @@ def test_sim_event_throughput(benchmark):
         f"{pooled_off / 1e6:.2f}M events/s unpooled"
     )
     assert eps > 0
+
+
+def test_wheel_vs_heap_baseline(benchmark):
+    wheel = benchmark.pedantic(
+        measure_fig5_wallclock, args=(True,), rounds=1, iterations=1
+    )
+    heap = measure_fig5_wallclock(False)
+    benchmark.extra_info["wheel_seconds"] = round(wheel, 4)
+    benchmark.extra_info["heap_seconds"] = round(heap, 4)
+    record_wheel_baseline(wheel, heap, WHEEL_WORKLOAD)
+    print(
+        f"\nfig5:quick wall-clock: {wheel:.3f}s wheel, {heap:.3f}s heap "
+        f"({heap / wheel:.2f}x)"
+    )
+    assert wheel > 0 and heap > 0

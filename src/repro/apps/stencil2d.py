@@ -390,11 +390,14 @@ def run_stencil(
     world_kwargs: Optional[dict] = None,
     shards: int = 1,
     tracer: Optional[Tracer] = None,
+    topology=None,
 ) -> StencilResult:
     """Run one Stencil2D configuration and collect measurements.
 
     ``shards > 1`` runs the exchange on the sharded engine
     (:mod:`repro.sim.shard`); results are bit-identical to sequential.
+    ``topology`` (e.g. :class:`repro.ib.fabric.FatTreeTopology`) shapes
+    the fabric's pairwise latencies for both execution modes.
     """
     global_init = _initial_global(cfg) if cfg.functional else None
     # Stencil results only read times/breakdowns, never the trace; a
@@ -403,7 +406,7 @@ def run_stencil(
     cluster = Cluster(
         cfg.nprocs, cfg=hw, functional=cfg.functional,
         tracer=tracer if tracer is not None else Tracer(enabled=False),
-        shards=shards,
+        shards=shards, topology=topology,
     )
     world = MpiWorld(cluster, nprocs=cfg.nprocs, **(world_kwargs or {}))
     outs = world.run(_stencil_program, cfg, global_init)

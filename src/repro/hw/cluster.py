@@ -46,6 +46,7 @@ class Cluster:
         faults=None,
         shards: int = 1,
         shard_map: Optional[tuple] = None,
+        topology=None,
     ):
         if num_nodes < 1:
             raise ValueError("cluster needs at least one node")
@@ -92,6 +93,7 @@ class Cluster:
             "functional": functional,
             "faults": faults,
             "tracer_enabled": self.tracer.enabled,
+            "topology": topology,
         }
         self.nodes: List[Node] = [
             Node(self.env, self.cfg, i, gpus_per_node=gpus_per_node)
@@ -104,7 +106,8 @@ class Cluster:
         from ..ib.fabric import Fabric
 
         self.fabric = Fabric(
-            self.env, self.cfg, self.nodes, tracer=self.tracer, faults=faults
+            self.env, self.cfg, self.nodes, tracer=self.tracer, faults=faults,
+            topology=topology,
         )
 
     @property

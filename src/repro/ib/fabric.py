@@ -19,7 +19,62 @@ from .verbs import HCA
 if TYPE_CHECKING:  # pragma: no cover
     from ..hw.node import Node
 
-__all__ = ["Fabric"]
+__all__ = ["Fabric", "FatTreeTopology"]
+
+_INF = float("inf")
+
+
+class FatTreeTopology:
+    """A two-level fat tree: leaves of ``leaf_size`` nodes under spines.
+
+    Intra-leaf pairs see the base ``cfg.net_latency``; inter-leaf pairs pay
+    ``inter_latency`` (the extra spine hops), which must be at least the
+    base latency so the global conservative lookahead stays
+    ``cfg.net_latency``. With ``None`` topology (the default single-switch
+    fabric) every pair sees the base latency and all simulated results are
+    unchanged.
+    """
+
+    __slots__ = ("leaf_size", "inter_latency")
+
+    def __init__(self, leaf_size: int, inter_latency: float):
+        if leaf_size <= 0:
+            raise ValueError(f"leaf_size must be positive: {leaf_size}")
+        if inter_latency <= 0:
+            raise ValueError(
+                f"inter_latency must be positive: {inter_latency}"
+            )
+        self.leaf_size = leaf_size
+        self.inter_latency = inter_latency
+
+    def latency(self, cfg: HardwareConfig, src: int, dst: int) -> float:
+        if src // self.leaf_size == dst // self.leaf_size:
+            return cfg.net_latency
+        return self.inter_latency
+
+    def min_cross_latency(self, cfg: HardwareConfig, shard_map) -> float:
+        """Smallest latency over cross-shard pairs (O(nodes), not O(n^2)).
+
+        When the partition aligns with leaf boundaries every cross-shard
+        pair is inter-leaf, so the sharded engine may use the *wider*
+        inter-leaf latency as its lookahead -- bigger conservative windows
+        for free.
+        """
+        leaves: dict = {}
+        split = False
+        for node, shard in enumerate(shard_map):
+            leaf = node // self.leaf_size
+            seen = leaves.setdefault(leaf, shard)
+            if seen != shard:
+                split = True
+                break
+        return cfg.net_latency if split else self.inter_latency
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<FatTreeTopology leaf_size={self.leaf_size} "
+            f"inter_latency={self.inter_latency}>"
+        )
 
 
 class Fabric:
@@ -46,10 +101,19 @@ class Fabric:
         nodes: List["Node"],
         tracer: Optional[Tracer] = None,
         faults: Optional[FaultPlan] = None,
+        topology: Optional[FatTreeTopology] = None,
     ):
         self.env = env
         self.cfg = cfg
         self.nodes = nodes
+        if topology is not None and getattr(
+            topology, "inter_latency", cfg.net_latency
+        ) < cfg.net_latency:
+            raise ValueError(
+                "topology latencies must not undercut cfg.net_latency "
+                "(it is the conservative lookahead floor)"
+            )
+        self.topology = topology
         self.tracer = tracer if tracer is not None else Tracer()
         self.faults = faults
         self.injector: Optional[FaultInjector] = (
@@ -78,6 +142,37 @@ class Fabric:
         earliest event can never receive a message inside it.
         """
         return self.cfg.net_latency
+
+    def latency(self, src_node: int, dst_node: int) -> float:
+        """Wire latency between a node pair (the base latency without a
+        topology; the verbs layer caches this per destination)."""
+        topo = self.topology
+        if topo is None:
+            return self.cfg.net_latency
+        return topo.latency(self.cfg, src_node, dst_node)
+
+    def shard_lookahead(self, shard_map) -> float:
+        """Minimum latency over cross-shard pairs: the CMB lookahead.
+
+        At least :attr:`lookahead`; strictly wider when a topology places
+        every cross-shard pair on a slower (inter-leaf) path, which lets
+        the coordinator grant bigger conservative windows.
+        """
+        topo = self.topology
+        if topo is None:
+            return self.cfg.net_latency
+        fast = getattr(topo, "min_cross_latency", None)
+        if fast is not None:
+            return fast(self.cfg, shard_map)
+        n = len(shard_map)
+        best = _INF
+        for a in range(n):
+            for b in range(n):
+                if a != b and shard_map[a] != shard_map[b]:
+                    lat = topo.latency(self.cfg, a, b)
+                    if lat < best:
+                        best = lat
+        return best if best != _INF else self.cfg.net_latency
 
     def is_local(self, node_id: int) -> bool:
         """Whether this process owns ``node_id`` (always true sequentially)."""

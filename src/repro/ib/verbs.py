@@ -98,7 +98,19 @@ class HCA:
         #: Monotonic count of wire emissions by this node; combined with
         #: the node id it keys every remote delivery (see module docstring).
         self._wire_seq = 0
+        #: dst node id -> wire latency; the fabric topology is static, so
+        #: each pair's latency is computed once (uniform fabrics always
+        #: cache cfg.net_latency and behave exactly as before).
+        self._lat_cache: Dict[int, float] = {}
         node.hca = self
+
+    def _latency(self, dst_node: int) -> float:
+        lat = self._lat_cache.get(dst_node)
+        if lat is None:
+            lat = self._lat_cache[dst_node] = self.fabric.latency(
+                self.node.node_id, dst_node
+            )
+        return lat
 
     def _next_wire_key(self) -> int:
         """Queue key for this HCA's next wire emission.
@@ -201,7 +213,7 @@ class HCA:
         # remotely one wire latency later.
         data = src.view().copy() if self.env.functional else None
         done.succeed()
-        arrival = self.env.now + cfg.net_latency
+        arrival = self.env.now + self._latency(dst.node_id)
         key = self._next_wire_key()
         if not self.fabric.is_local(dst.node_id):
             # Cross-shard: the snapshot ships through the bridge and the
@@ -269,7 +281,7 @@ class HCA:
         with self.tx.request() as req:
             yield req
             yield self.env.timeout(cfg.net_post_overhead)
-        arrival = self.env.now + cfg.net_latency
+        arrival = self.env.now + self._latency(src.node_id)
         key = self._next_wire_key()
         stall = act.stall if act is not None else 0.0
         fail_msg = (
@@ -349,7 +361,7 @@ class HCA:
         data = None
         if env.functional:
             data = self.node.memory.raw[offset : offset + nbytes].copy()
-        deliver(env.now + cfg.net_latency, self._next_wire_key(), data)
+        deliver(env.now + self._latency(origin_node), self._next_wire_key(), data)
 
     def send_control(self, dst_node: int, payload: Any, size_bytes: int = 64) -> Event:
         """Send a small control message; returns the local completion event.
@@ -414,7 +426,7 @@ class HCA:
         done.succeed()
         if act is not None and act.drop:
             return
-        delay = cfg.net_latency + (act.delay if act is not None else 0.0)
+        delay = self._latency(dst_node) + (act.delay if act is not None else 0.0)
         arrival = self.env.now + delay
         key = self._next_wire_key()
         duplicate = act is not None and act.duplicate

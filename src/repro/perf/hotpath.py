@@ -29,6 +29,7 @@ __all__ = [
     "record_tuned_comparison",
     "record_pack_throughput",
     "record_sim_throughput",
+    "record_wheel_baseline",
 ]
 
 _DEFAULT_NAME = "BENCH_hotpath.json"
@@ -136,6 +137,7 @@ def record_shard_wallclock(
     sharded: float,
     shards: int,
     path: Optional[Path] = None,
+    extra: Optional[dict] = None,
 ) -> dict:
     """Record one sequential-vs-sharded comparison in ``BENCH_shard.json``.
 
@@ -156,6 +158,8 @@ def record_shard_wallclock(
     entry["cores"] = os.cpu_count()
     if entry["after"] > 0:
         entry["speedup"] = round(entry["before"] / entry["after"], 2)
+    if extra:
+        entry.update(extra)
     _save(data, path or shard_file())
     return entry
 
@@ -198,6 +202,30 @@ def record_pack_throughput(
     data = load(path)
     data["pack_throughput"] = {
         "bytes_per_second": round(bytes_per_second, 1),
+        "workload": workload,
+    }
+    _save(data, path)
+
+
+def record_wheel_baseline(
+    wheel_seconds: float,
+    heap_seconds: float,
+    workload: str,
+    path: Optional[Path] = None,
+) -> None:
+    """Record the event-wheel-vs-heap wall-clock pair for one workload.
+
+    Both numbers come from the same benchmark run on the same host:
+    ``heap_seconds`` with ``REPRO_SIM_WHEEL=0`` (the pure-heapq hot loop)
+    and ``wheel_seconds`` with the calendar wheel enabled. The perf-tier
+    pytest guard requires a fresh wheel-enabled run to stay at parity
+    with a fresh heap run -- the wheel must be neutral-to-better, never
+    a pessimization.
+    """
+    data = load(path)
+    data["wheel_baseline"] = {
+        "wheel_seconds": round(wheel_seconds, 4),
+        "heap_seconds": round(heap_seconds, 4),
         "workload": workload,
     }
     _save(data, path)

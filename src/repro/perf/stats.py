@@ -30,13 +30,35 @@ Counter names
 ``event_pool_hit`` / ``event_pool_miss``
     Simulation Timeout events served from the environment's recycle pool
     vs. freshly allocated (only counted while pooling is enabled).
+``event_wheel_hit`` / ``event_wheel_miss``
+    Timed events placed in the calendar wheel's near-horizon buckets vs.
+    routed to the binary heap (far timestamps, calibration warm-up, bulk
+    batches). Wall-clock only; placement never affects event order.
 
 Shard counters (:mod:`repro.sim.shard`; all zero on sequential runs)
 --------------------------------------------------------------------------
 ``shard_rounds`` / ``shard_null_grants``
-    Coordinator window rounds granted, and the subset that carried no
-    cross-shard messages (the conservative protocol's null-message
-    overhead).
+    Coordinator pipe interactions (one packed grant + one packed reply per
+    shard each), and the subset whose batches carried no cross-shard
+    messages in either direction (pure window-ladder grants).
+``shard_windows``
+    Conservative windows executed in total. Each interaction grants a
+    *ladder* of up to K windows that workers run self-synchronized
+    through shared memory, so ``shard_windows / shard_rounds`` is the
+    mean adaptive-lookahead depth per interaction.
+``shard_ladder_min`` / ``shard_ladder_max``
+    Smallest / largest ladder depth over all interactions (these two keys
+    merge by min/max, not addition).
+``shard_pipe_msgs``
+    Worker-level coordinator pipe messages (grants sent plus replies
+    received, summed over shards) -- the serialization cost the batched
+    protocol minimizes.
+``shard_batch_msgs`` / ``shard_batch_bytes``
+    Cross-shard messages routed through coordinator-packed grant batches,
+    and the pickled bytes of those packed grants.
+``shard_direct_msgs`` / ``shard_direct_bytes``
+    Cross-shard messages shipped worker-to-worker through per-pair pipes
+    mid-ladder (never serializing on the coordinator), and their bytes.
 ``shard_xmsg_ctl`` / ``shard_xmsg_rdma`` / ``shard_xmsg_rreq`` / ``shard_xmsg_rresp``
     Cross-shard wire messages by kind: control messages, RDMA-write
     payload landings, RDMA-read requests and their responses.
@@ -109,8 +131,27 @@ class PerfStats:
         return dict(self.counters)
 
     def merge(self, other: Dict[str, int]) -> None:
-        """Fold a snapshot (e.g. from a worker process) into this one."""
-        self.counters.update(other)
+        """Fold a snapshot (e.g. from a worker process) into this one.
+
+        Keys ending in ``_min`` / ``_max`` fold by minimum / maximum
+        (``Counter.update`` would add them, corrupting extrema).
+        """
+        extrema = {
+            k: v for k, v in other.items()
+            if k.endswith("_min") or k.endswith("_max")
+        }
+        if not extrema:
+            self.counters.update(other)
+            return
+        self.counters.update(
+            {k: v for k, v in other.items() if k not in extrema}
+        )
+        for k, v in extrema.items():
+            cur = self.counters.get(k)
+            if cur is None:
+                self.counters[k] = v
+            else:
+                self.counters[k] = min(cur, v) if k.endswith("_min") else max(cur, v)
 
     # -- derived figures ----------------------------------------------------
     def hit_rate(self, kind: str) -> float:
@@ -125,6 +166,12 @@ class PerfStats:
         """Event-pool hit rate in [0, 1] (0 when pooling never engaged)."""
         hits = self.counters["event_pool_hit"]
         total = hits + self.counters["event_pool_miss"]
+        return hits / total if total else 0.0
+
+    def wheel_rate(self) -> float:
+        """Event-wheel placement rate in [0, 1] (0 when never engaged)."""
+        hits = self.counters["event_wheel_hit"]
+        total = hits + self.counters["event_wheel_miss"]
         return hits / total if total else 0.0
 
     def footer(self) -> str:
@@ -143,6 +190,8 @@ class PerfStats:
             f"({c['plan_cache_hit']}/{plan})",
             f"event-pool {100 * self.pool_rate():.0f}% hit "
             f"({c['event_pool_hit']}/{pool})",
+            f"event-wheel {100 * self.wheel_rate():.0f}% "
+            f"({c['event_wheel_hit']}/{c['event_wheel_hit'] + c['event_wheel_miss']})",
             f"pack {c['gather_2d'] + c['scatter_2d']} 2d / "
             f"{c['gather_vec'] + c['scatter_vec']} vec",
             f"idx {c['index_reuse']} reused / {c['index_build']} built",
@@ -180,16 +229,23 @@ class PerfStats:
             per_shard.append(c[f"shard{i}_events"])
             i += 1
         null = c["shard_null_grants"]
-        grants = rounds * max(len(per_shard), 1)
+        windows = c["shard_windows"]
         parts = [
-            f"{rounds} rounds",
-            f"{null} null grants ({100 * null / grants:.0f}%)"
-            if grants else "0 null grants",
+            f"{rounds} rounds / {windows} windows "
+            f"(ladder {c['shard_ladder_min']}-{windows / rounds:.1f}-"
+            f"{c['shard_ladder_max']})",
+            f"{null} null rounds ({100 * null / rounds:.0f}%)",
+            f"pipe {c['shard_pipe_msgs']} msgs",
+            f"batch {c['shard_batch_msgs']} msgs / "
+            f"{c['shard_batch_bytes'] / rounds:.0f} B per round",
+            f"direct {c['shard_direct_msgs']} msgs / "
+            f"{c['shard_direct_bytes']} B",
             f"xmsg {sum(xmsg.values())} "
             f"({' / '.join(f'{v} {k}' for k, v in xmsg.items())})",
             f"events per shard {per_shard}",
             f"payload {c['shard_payload_shm_bytes']} B shm / "
             f"{c['shard_payload_inline_bytes']} B inline",
+            f"wheel {100 * self.wheel_rate():.0f}%",
         ]
         return "[shard: " + ", ".join(parts) + "]"
 

@@ -5,44 +5,71 @@ partitions a :class:`~repro.hw.cluster.Cluster`'s nodes across forked
 worker processes, each running its *own* :class:`Environment` over the
 events of its nodes, and synchronizes them with a conservative
 Chandy--Misra--Bryant-style protocol whose lookahead is the minimum
-cross-shard fabric latency (``Fabric.lookahead``, i.e. ``net_latency``).
+cross-shard fabric latency (``Fabric.shard_lookahead``; the base
+``net_latency`` on a uniform fabric, wider when a topology makes every
+cross-shard pair inter-leaf).
 
 Protocol
 --------
-A coordinator (the parent process) runs rounds of *time windows*. Each
-round it collects every shard's earliest pending event time, folds in the
-arrival times of cross-shard messages still queued for delivery, and
-grants shard *i* the window ``[now_i, bound_i)`` with::
+A coordinator (the parent process) issues *window ladders*. Each
+interaction it collects every shard's earliest pending event time, folds
+in the arrival times of cross-shard messages still queued for delivery
+(``eff``), delivers those messages, and grants **K windows at once**.
+Workers compute the identical bound schedule by iterating the grant map::
 
-    eff[j]   = min(next_event[j], earliest queued arrival for j)
-    bound_i  = min(min(eff[j] for j != i) + lookahead,
-                   eff[i] + 2 * lookahead)
+    b0        = eff
+    b(k+1)_i  = min(min(bk_j for j != i) + L,  bk_i + 2 * L)   [cap: horizon]
 
-Safety: any message a peer *j* emits in its own window is sent at a local
-time ``t >= eff[j]`` and arrives ``t + lookahead >= bound_i``, so it can
-never land inside a window shard *i* was already granted. The second term
-guards against *feedback through an idle peer*: shard *i* itself may emit
-as early as ``eff[i]``; a peer's reaction to that emission can reach *i*
-no earlier than ``eff[i] + 2 * lookahead`` (one latency out, one back),
-and without the cap an idle peer (``eff[j] = inf``) would hand *i* an
-unbounded window that outruns the reaction. Progress: the globally
-earliest shard always receives a bound strictly above its next event
-(lookahead is positive -- enforced by ``Fabric.attach_shard``), so every
-round processes at least one event somewhere.
+Window 1 is the classic conservative window (safety: any message peer *j*
+emits at ``t >= eff[j]`` arrives ``t + L >= b1_i``; the ``+ 2L`` term
+caps feedback through idle peers). Later windows need no fresh state: an
+emission inside window *k* happens at ``t >= b(k-1)_j``, so it arrives
+``t + L >= bk_i`` -- the recurrence *is* the safety proof, which is why a
+whole ladder can run without touching the coordinator. The grant map is
+monotone and (from the second application on) non-decreasing, so windows
+partition the timeline exactly like back-to-back ``run_window`` calls.
+
+Workers self-synchronize the ladder through a shared-memory **slot
+array**: one atomic int64 per shard packing ``(generation, completed
+window, stop bit, emission count)``. After each window a worker publishes
+its slot and spin-waits until every peer reaches the same window. Sparse
+cross-shard emissions ship **directly** worker-to-worker through per-pair
+pipes mid-ladder: the emitter writes one pickled blob per peer *before*
+publishing its incremented emission count, so a peer that observes the
+count is guaranteed (by the kernel's pipe semantics -- no memory-ordering
+assumptions) to find the blob. Oversized emissions instead set the stop
+bit, ending the ladder at that window with the messages riding the
+coordinator reply; the atomic slot write makes the stop window a
+consensus value ``m*`` -- no worker can pass barrier ``m*`` without
+seeing it, so every worker completes exactly ``m*`` windows.
+
+The ladder depth K adapts deterministically from already-merged history
+only (doubling while interactions stay quiet, shrinking on
+coordinator-routed bursts or event-free crawl), so traces stay
+bit-identical for any K policy: window partitioning never changes event
+order.
+
+Above 8 shards (``REPRO_SHARD_FANOUT``) the coordinator talks to **pod
+relays** -- intermediate processes that fork and fan messages to up to 8
+workers each -- so grant/reply traffic at 64+ shards doesn't serialize on
+one process's pipe syscalls. Pods are pure transports: routing, bounds
+and adaptation stay in the coordinator, and the global slot array keeps
+worker self-synchronization flat.
 
 Cross-shard traffic is cut at **send time**: the verbs layer
 (:mod:`repro.ib.verbs`) computes each operation's remote arrival timestamp
 in the sender's timeline and hands it to the :class:`ShardBridge` instead
-of touching the peer node's replica objects. The coordinator routes the
-records to the owning shard with the next grant, where they are injected
-as plain events at the precomputed arrival time -- by the safety argument
-above, never in the receiver's past.
+of touching the peer node's replica objects. Messages reach the owning
+shard either directly (mid-ladder) or with the next grant, and are
+injected as plain events at the precomputed arrival time -- by the safety
+argument above, never in the receiver's past.
 
 Payload bytes (RDMA writes and read responses) travel through per-shard
 ``multiprocessing.shared_memory`` staging arenas (two halves, used in
-window parity so a half is only recycled after every message staged in it
-has been copied out by its receiver at grant receipt); oversized payloads
-fall back to inline pickling through the control pipe.
+ladder parity so a half is only recycled after every message staged in it
+has been copied out by its receiver -- mid-ladder for direct deliveries,
+at the next grant for coordinator-routed ones); oversized payloads fall
+back to inline pickling.
 
 Determinism
 -----------
@@ -56,9 +83,9 @@ have: after every locally-created event of the arrival instant, ordered
 among deliveries by ``(src node, seq)``. Because the key is a pure
 function of sender-local state, the whole run is partition-invariant: the
 merged trace (``Tracer.merge_from``), per-rank results and final clock
-are bit-identical to the sequential run for *any* shard map -- the
-property the trace-equality tests in ``tests/sim/test_shard.py`` pin
-down.
+are bit-identical to the sequential run for *any* shard map, *any* ladder
+depth and either message transport -- the property the trace-equality
+tests in ``tests/sim/test_shard.py`` pin down.
 """
 
 from __future__ import annotations
@@ -66,6 +93,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import pickle
+import time
 import traceback
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -74,7 +102,6 @@ import numpy as np
 from ..perf.stats import PERF
 from .core import Environment
 from .events import Event, SimulationError
-from .trace import Tracer
 
 __all__ = ["ShardView", "ShardBridge", "run_sharded_world"]
 
@@ -84,9 +111,109 @@ _SEG_BYTES_DEFAULT = 8 << 20
 
 _INF = float("inf")
 
+#: Ladder depth floor; the ceiling comes from ``REPRO_SHARD_LADDER_MAX``.
+_K_MIN = 2
+_K_MAX_DEFAULT = 256
+_K_HARD_CAP = 4096  # emission counts must fit the slot's 16-bit field
+
+#: Depth the adaptive policy settles at in *crawl* regions -- continuous
+#: fine-grained traffic where every window only advances ~one lookahead.
+#: There a deeper ladder just trades coordinator rounds for extra crawl
+#: windows (the stale ``eff`` can't jump gaps a refresh would); measured
+#: round/window cost puts the knee near 32.
+_K_CRUISE = 32
+
+#: Largest pickled emission blob shipped through the direct per-pair
+#: pipes. Two unread blobs per pair can be in flight (a sender runs at
+#: most one window ahead), so this stays well under the 64 KiB pipe
+#: capacity -- a sender can never block mid-ladder on a full pipe.
+_DIRECT_BLOB_MAX = 8 << 10
+
+#: Slot layout: | gen (29 bits) | window (17) | stop (1) | emits (16) |
+_SLOT_EMITS_MASK = 0xFFFF
+_SLOT_STOP_BIT = 1 << 16
+_SLOT_WIN_SHIFT = 17
+_SLOT_WIN_MASK = 0x1FFFF
+_SLOT_GEN_SHIFT = 34
+
+_PICKLE = pickle.HIGHEST_PROTOCOL
+
 
 def _seg_bytes() -> int:
     return int(os.environ.get("REPRO_SHARD_SEG_BYTES", _SEG_BYTES_DEFAULT))
+
+
+def _ladder_k_max() -> int:
+    k = int(os.environ.get("REPRO_SHARD_LADDER_MAX", _K_MAX_DEFAULT))
+    return max(1, min(k, _K_HARD_CAP))
+
+
+def _fanout() -> int:
+    return max(2, int(os.environ.get("REPRO_SHARD_FANOUT", 8)))
+
+
+def _barrier_timeout() -> float:
+    return float(os.environ.get("REPRO_SHARD_BARRIER_TIMEOUT", 900.0))
+
+
+def _direct_enabled(shards: int) -> bool:
+    """Whether the per-pair direct pipes fit this host's fd budget."""
+    mode = os.environ.get("REPRO_SHARD_DIRECT", "auto")
+    if mode == "0" or shards < 2:
+        return False
+    if mode == "1":
+        return True
+    try:
+        import resource
+
+        soft = resource.getrlimit(resource.RLIMIT_NOFILE)[0]
+        if soft == resource.RLIM_INFINITY:
+            soft = 1 << 20
+    except Exception:  # pragma: no cover - exotic platform
+        soft = 1024
+    need = 2 * shards * (shards - 1) + 8 * shards + 64
+    return need <= soft
+
+
+def _slot_pack(gen: int, window: int, stop: bool, emits: int) -> int:
+    return (
+        (gen << _SLOT_GEN_SHIFT)
+        | (window << _SLOT_WIN_SHIFT)
+        | (_SLOT_STOP_BIT if stop else 0)
+        | emits
+    )
+
+
+def _pow2ceil(n: int) -> int:
+    return 1 << max(0, (n - 1).bit_length())
+
+
+def _ladder_bounds(eff: List[float], index: int, count: int, lookahead: float,
+                   horizon: float, depth: int) -> List[float]:
+    """Shard ``index``'s bound schedule: ``depth`` grant-map applications.
+
+    Every worker computes the identical full-vector iteration (same float
+    operations in the same order), truncated where the vector plateaus
+    (all bounds pinned at the horizon) -- a divergent early exit would
+    deadlock the slot barrier, so the truncation must be consensus too.
+    """
+    bounds: List[float] = []
+    prev = list(eff)
+    for _ in range(depth):
+        nxt = []
+        for i in range(count):
+            peers = min(
+                prev[j] for j in range(count) if j != i
+            ) if count > 1 else _INF
+            bound = min(peers + lookahead, prev[i] + 2 * lookahead)
+            if bound > horizon:
+                bound = horizon
+            nxt.append(bound)
+        if nxt == prev:
+            break
+        bounds.append(nxt[index])
+        prev = nxt
+    return bounds
 
 
 class ShardView:
@@ -121,8 +248,9 @@ class ShardBridge:
 
     The verbs layer calls :meth:`send_ctl` / :meth:`send_rdma` /
     :meth:`post_read` when an operation's destination node is not local;
-    the worker main loop drains :meth:`take_outbox` into its round reply
-    and feeds granted messages back through :meth:`deliver`.
+    the worker main loop drains :meth:`take_outbox` after every window
+    (shipping records directly to peers or back with the ladder reply)
+    and feeds inbound messages through :meth:`deliver`.
     """
 
     def __init__(self, view: ShardView, shm_names: List[str]):
@@ -168,12 +296,12 @@ class ShardBridge:
                 pass
 
     def begin_window(self, parity: int) -> None:
-        """Recycle the staging half of ``parity`` for this window's sends.
+        """Recycle the staging half of ``parity`` for this ladder's sends.
 
-        Safe because a half filled in window *w* is only reused in window
-        *w + 2*, and every message staged in *w* was copied out by its
-        receiver at the *w + 1* grant -- before the coordinator can have
-        issued the *w + 2* grants.
+        Safe because a half filled in ladder *n* is only reused in ladder
+        *n + 2*, and every message staged in *n* was copied out by its
+        receiver before then: direct deliveries materialize mid-ladder,
+        coordinator-routed ones at the ladder *n + 1* grant.
         """
         self._parity = parity
         self._stage_arenas[parity].release_all()
@@ -255,12 +383,12 @@ class ShardBridge:
     def deliver(self, msgs: List[tuple]) -> None:
         """Inject granted messages as wire events at their arrivals.
 
-        Payload references are materialized *now* (grant receipt), because
-        the sender may recycle its staging half two windows later while a
-        far-future arrival is still queued here. Each record is injected
-        through :meth:`Environment.schedule_wire` under the sender's
-        original wire key, landing at exactly the sequential run's queue
-        position.
+        Payload references are materialized *now* (delivery receipt),
+        because the sender may recycle its staging half two ladders later
+        while a far-future arrival is still queued here. Each record is
+        injected through :meth:`Environment.schedule_wire` under the
+        sender's original wire key, landing at exactly the sequential
+        run's queue position.
         """
         env = self.env
         for m in msgs:
@@ -397,30 +525,136 @@ def _pickle_or_none(exc: BaseException) -> Optional[bytes]:
         return None
 
 
-def _worker_main(index, cluster_spec, world_spec, shard_map, shm_names,
-                 program, args, cmd, rsp):
-    """Entry point of one shard worker (forked: arguments are inherited)."""
+def _close_direct_rows(d_reads, d_writes, keep: Optional[int]) -> None:
+    """Close inherited direct-pipe connections except shard ``keep``'s rows."""
+    if d_reads is None:
+        return
+    for owner, row in enumerate(d_reads):
+        if owner == keep:
+            continue
+        for conn in row:
+            if conn is not None:
+                conn.close()
+    for owner, row in enumerate(d_writes):
+        if owner == keep:
+            continue
+        for conn in row:
+            if conn is not None:
+                conn.close()
+
+
+class _LadderSync:
+    """Worker-side ladder barrier + direct-delivery machinery.
+
+    The barrier is token-counting over per-pair semaphores: completing a
+    window, a worker posts one token to every peer and then acquires one
+    token *per peer* per window. Semaphores are futex-backed -- an
+    already-posted acquire never enters the kernel, and a genuinely
+    waiting worker blocks until the exact peer posts (no spin-yield
+    guessing games with the scheduler, which on hosts with fewer cores
+    than shards used to cost more than the windows themselves).
+
+    Every worker completes the same number of windows ``m*`` (the stop
+    consensus below), so each pair's posts and acquires balance exactly
+    and every semaphore is back to zero when the ladder ends -- no
+    per-ladder reset, no generation tagging needed on the tokens.
+    """
+
+    __slots__ = ("slots", "index", "count", "gen", "sems_in", "reads",
+                 "read_counts", "bridge", "deadline")
+
+    def __init__(self, slots, index, count, gen, sems_in, reads, bridge):
+        self.slots = slots
+        self.index = index
+        self.count = count
+        self.gen = gen
+        self.sems_in = sems_in
+        self.reads = reads
+        self.read_counts = [0] * count
+        self.bridge = bridge
+        self.deadline = time.monotonic() + _barrier_timeout()
+
+    def barrier(self, window: int) -> bool:
+        """Wait for every peer to complete ``window``, drain direct
+        blobs, detect a ladder stop.
+
+        A peer that stopped *at* ``window`` ends the ladder here; a stop
+        at a later window is handled when this worker reaches that
+        barrier (a stopped peer is frozen, so a slot showing a window
+        beyond ``window`` cannot be hiding an earlier stop). Acquiring a
+        peer's token gives happens-before on its slot write, and the
+        emission count in the slot is published atomically with the
+        completed-window field, so the drain below can never miss or
+        double-read a blob -- it may read *ahead* into a faster peer's
+        later windows, which is safe: those arrivals are beyond this
+        worker's next bound by the grant-map recurrence.
+        """
+        slots, count, index = self.slots, self.count, self.index
+        stop_here = False
+        for j in range(count):
+            if j == index:
+                continue
+            while not self.sems_in[j].acquire(True, 1.0):
+                if time.monotonic() > self.deadline:
+                    raise SimulationError(
+                        f"shard {index} barrier timed out at ladder "
+                        f"window {window} (gen {self.gen}) waiting for "
+                        f"shard {j}; slots: {[int(s) for s in slots]}"
+                    )
+            v = int(slots[j])
+            emitted = v & _SLOT_EMITS_MASK
+            while self.read_counts[j] < emitted:
+                # The count was published after the blob's pipe write
+                # syscall returned, so the bytes are already in the kernel
+                # buffer -- recv_bytes cannot block for long.
+                blob = self.reads[j].recv_bytes()
+                self.read_counts[j] += 1
+                mine = [m for m in pickle.loads(blob) if m[3] == index]
+                if mine:
+                    self.bridge.deliver(mine)
+            if (v & _SLOT_STOP_BIT) and (
+                (v >> _SLOT_WIN_SHIFT) & _SLOT_WIN_MASK
+            ) == window:
+                stop_here = True
+        return stop_here
+
+
+def _worker_main(index, world, shard_map, shm_names,
+                 slots_name, sems, d_reads, d_writes, program, args,
+                 cmd, rsp):
+    """Entry point of one shard worker.
+
+    Workers are forked *after* the parent constructs the world, so the
+    fully-built cluster arrives by copy-on-write inheritance -- no
+    per-worker rebuild (which used to dominate wall-clock at small scales
+    and would be prohibitive for 1024-rank worlds). The inherited state is
+    bit-identical to what a rebuild from the same specs would produce: the
+    parent has not run a single event when it forks.
+    """
     bridge = None
+    slots_shm = None
+    slots = None
+    sync = None
     try:
         PERF.reset()
-        from ..hw.cluster import Cluster
-        from ..mpi.world import MpiWorld
-
         view = ShardView(index, max(shard_map) + 1, tuple(shard_map))
+        count = view.count
+        _close_direct_rows(d_reads, d_writes, keep=index)
+        my_reads = d_reads[index] if d_reads is not None else None
+        my_writes = d_writes[index] if d_writes is not None else None
+        # sems[i][j]: posted by j when it completes a window, acquired by
+        # i at its barrier. This worker acquires row `index`, posts down
+        # column `index`.
+        sems_in = sems[index]
+        sems_out = [row[index] for row in sems]
+        slots_shm = _open_shm(slots_name)
+        slots = np.frombuffer(slots_shm.buf, dtype=np.int64)
         bridge = ShardBridge(view, shm_names)
-        cluster = Cluster(
-            cluster_spec["num_nodes"],
-            cfg=cluster_spec["cfg"],
-            gpus_per_node=cluster_spec["gpus_per_node"],
-            functional=cluster_spec["functional"],
-            faults=cluster_spec["faults"],
-            tracer=Tracer(enabled=cluster_spec["tracer_enabled"]),
-        )
+        cluster = world.cluster
         cluster.fabric.attach_shard(view, bridge)
-        world = MpiWorld(cluster, **world_spec)
         env = cluster.env
 
-        # Every worker rebuilds the full world (endpoints for remote ranks
+        # Every worker holds the full world (endpoints for remote ranks
         # are inert replicas: their progress engines block forever on
         # inboxes the bridge never feeds), but only local ranks run.
         local = [
@@ -452,18 +686,61 @@ def _worker_main(index, cluster_spec, world_spec, shard_map, shm_names,
         while True:
             msg = cmd.recv()
             op = msg[0]
-            if op == "window":
-                _, bound, parity, incoming = msg
+            if op == "ladder":
+                _, gen, parity, depth, eff, lookahead, horizon, incoming = msg
                 bridge.begin_window(parity)
                 if incoming:
                     bridge.deliver(incoming)
-                total_events += env.run_window(bound)
-                exc = done_failed()
-                if exc is not None:
-                    raise exc
+                bounds = _ladder_bounds(
+                    eff, index, count, lookahead, horizon, depth
+                )
+                sync = _LadderSync(slots, index, count, gen, sems_in,
+                                   my_reads, bridge)
+                kept: List[tuple] = []
+                emits = 0
+                completed = 0
+                for window, bound in enumerate(bounds, start=1):
+                    total_events += env.run_window(bound)
+                    exc = done_failed()
+                    if exc is not None:
+                        raise exc
+                    out = bridge.take_outbox()
+                    stop = False
+                    if out:
+                        blob = (
+                            pickle.dumps(out, protocol=_PICKLE)
+                            if my_writes is not None else None
+                        )
+                        if blob is not None and len(blob) <= _DIRECT_BLOB_MAX:
+                            # Ship directly: one blob to every peer (even
+                            # message-free ones -- each must consume exactly
+                            # `emits` blobs to stay aligned), *then* publish
+                            # the incremented count in the slot below.
+                            for conn in my_writes:
+                                if conn is not None:
+                                    conn.send_bytes(blob)
+                            emits += 1
+                            PERF.bump("shard_direct_msgs", len(out))
+                            PERF.bump("shard_direct_bytes", len(blob))
+                        else:
+                            # Oversized (or direct mode off): end the ladder
+                            # here; the messages ride the reply instead.
+                            kept = out
+                            stop = True
+                    slots[index] = _slot_pack(gen, window, stop, emits)
+                    completed = window
+                    if count > 1:
+                        for sem in sems_out:
+                            if sem is not None:
+                                sem.release()
+                        peer_stop = sync.barrier(window)
+                    else:
+                        peer_stop = False
+                    if stop or peer_stop:
+                        break
                 rsp.send((
-                    "ran", index, env.peek(), bridge.take_outbox(),
-                    total_events, done_flag(), state["done_time"],
+                    "ran", index, env.peek(), kept, total_events,
+                    done_flag(), state["done_time"], completed, emits,
                 ))
             elif op == "until":
                 _, horizon, incoming = msg
@@ -512,6 +789,83 @@ def _worker_main(index, cluster_spec, world_spec, shard_map, shm_names,
     finally:
         if bridge is not None:
             bridge.close()
+        if slots_shm is not None:
+            # Both references into the segment must drop before the mmap
+            # can close (numpy arrays hold buffer exports on it).
+            slots = None
+            sync = None
+            try:
+                slots_shm.close()
+            except BufferError:  # pragma: no cover
+                pass
+
+
+# ---------------------------------------------------------------------------
+# Pod relay: one intermediate process fanning coordinator batches to up to
+# `fanout` workers, so 64+ shards don't serialize on one process's pipes.
+# ---------------------------------------------------------------------------
+
+def _pod_main(ids, world, shard_map, shm_names,
+              slots_name, sems, d_reads, d_writes, program, args, cmd, rsp):
+    """Relay loop: fork this pod's workers, then fan batches up and down.
+
+    Pods are pure transports -- routing, bound schedules and adaptation all
+    stay in the coordinator; worker self-synchronization runs through the
+    global slot array regardless of pod membership. A pod exits when the
+    coordinator sends ``("exit",)`` or closes the command pipe; its
+    workers are daemons of the pod and die with it.
+    """
+    ctx = mp.get_context("fork")
+    cmds: Dict[int, Any] = {}
+    rsps: Dict[int, Any] = {}
+    procs: Dict[int, Any] = {}
+    try:
+        for i in ids:
+            cmd_r, cmd_w = ctx.Pipe(duplex=False)
+            rsp_r, rsp_w = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(i, world, shard_map, shm_names,
+                      slots_name, sems, d_reads, d_writes, program, args,
+                      cmd_r, rsp_w),
+                name=f"repro-shard-{i}",
+                daemon=True,
+            )
+            proc.start()
+            cmd_r.close()
+            rsp_w.close()
+            cmds[i], rsps[i], procs[i] = cmd_w, rsp_r, proc
+        _close_direct_rows(d_reads, d_writes, keep=None)
+        rsp.send(("batch", {i: rsps[i].recv() for i in ids}))
+        while True:
+            try:
+                msg = cmd.recv()
+            except EOFError:
+                return
+            if msg[0] == "fan":
+                group = msg[1]
+                for i, m in group.items():
+                    cmds[i].send(m)
+                rsp.send(("batch", {i: rsps[i].recv() for i in group}))
+            elif msg[0] == "exit":
+                return
+            else:  # pragma: no cover - protocol error
+                raise SimulationError(f"unknown pod command {msg[0]!r}")
+    except BaseException:  # pragma: no cover - exercised via pipes
+        try:
+            rsp.send(("podfatal", list(ids), traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        for conn in cmds.values():
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in procs.values():
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
 
 
 # ---------------------------------------------------------------------------
@@ -526,14 +880,109 @@ class _TraceSource:
         self.faults = faults
 
 
-class _Coordinator:
-    """Window-granting loop over the shard workers."""
+class _FlatLinks:
+    """Coordinator transport: one pipe pair per worker."""
 
-    def __init__(self, shards: int, lookahead: float, cmds, rsps):
-        self.shards = shards
-        self.lookahead = lookahead
+    def __init__(self, cmds, rsps):
         self.cmds = cmds
         self.rsps = rsps
+        self.pipe_msgs = 0
+        self.sent_bytes = 0
+
+    def _recv(self, i: int):
+        try:
+            reply = self.rsps[i].recv()
+        except EOFError:
+            raise RuntimeError(
+                f"shard worker {i} died without reporting an error"
+            ) from None
+        self.pipe_msgs += 1
+        return reply
+
+    def collect_ready(self, shards: int) -> Dict[int, tuple]:
+        return {i: self._recv(i) for i in range(shards)}
+
+    def dispatch(self, msgs: Dict[int, tuple]) -> Dict[int, tuple]:
+        """Send every grant, then collect every reply (no circular wait:
+        workers only reply after the whole ladder completes, and the slot
+        barrier never depends on a reply being drained)."""
+        for i, m in msgs.items():
+            blob = pickle.dumps(m, protocol=_PICKLE)
+            self.cmds[i].send_bytes(blob)
+            self.pipe_msgs += 1
+            self.sent_bytes += len(blob)
+        return {i: self._recv(i) for i in msgs}
+
+    def shutdown(self) -> None:
+        pass
+
+
+class _PodLinks:
+    """Coordinator transport through pod relays: one pipe pair per pod,
+    one packed batch per (pod, interaction). ``pipe_msgs`` still counts
+    logical worker-level messages so the counter is comparable across
+    transports."""
+
+    def __init__(self, pod_ids: List[List[int]], cmds, rsps):
+        self.pod_ids = pod_ids
+        self.pod_of = {
+            i: p for p, ids in enumerate(pod_ids) for i in ids
+        }
+        self.cmds = cmds
+        self.rsps = rsps
+        self.pipe_msgs = 0
+        self.sent_bytes = 0
+
+    def _recv_batch(self, p: int) -> Dict[int, tuple]:
+        try:
+            reply = self.rsps[p].recv()
+        except EOFError:
+            raise RuntimeError(
+                f"shard pod {p} died without reporting an error"
+            ) from None
+        if reply[0] == "podfatal":
+            raise RuntimeError(
+                f"shard pod {p} (shards {reply[1]}) failed:\n{reply[2]}"
+            )
+        batch = reply[1]
+        self.pipe_msgs += len(batch)
+        return batch
+
+    def collect_ready(self, shards: int) -> Dict[int, tuple]:
+        out: Dict[int, tuple] = {}
+        for p in range(len(self.pod_ids)):
+            out.update(self._recv_batch(p))
+        return out
+
+    def dispatch(self, msgs: Dict[int, tuple]) -> Dict[int, tuple]:
+        groups: Dict[int, Dict[int, tuple]] = {}
+        for i, m in msgs.items():
+            groups.setdefault(self.pod_of[i], {})[i] = m
+        for p in sorted(groups):
+            blob = pickle.dumps(("fan", groups[p]), protocol=_PICKLE)
+            self.cmds[p].send_bytes(blob)
+            self.pipe_msgs += len(groups[p])
+            self.sent_bytes += len(blob)
+        out: Dict[int, tuple] = {}
+        for p in sorted(groups):
+            out.update(self._recv_batch(p))
+        return out
+
+    def shutdown(self) -> None:
+        for conn in self.cmds:
+            try:
+                conn.send(("exit",))
+            except (OSError, BrokenPipeError):  # pragma: no cover
+                pass
+
+
+class _Coordinator:
+    """Ladder-granting loop over the shard workers."""
+
+    def __init__(self, shards: int, lookahead: float, links):
+        self.shards = shards
+        self.lookahead = lookahead
+        self.links = links
         self.next_time = [0.0] * shards
         self.pending: List[List[tuple]] = [[] for _ in range(shards)]
         self.done_flags = [False] * shards
@@ -543,18 +992,27 @@ class _Coordinator:
         self.null_grants = 0
         self.msg_counts: Dict[str, int] = {}
         self.failure: Optional[tuple] = None
+        # Adaptive ladder depth: starts minimal, doubles while ladders
+        # cover real simulated time, settles at the cruise depth when
+        # windows merely crawl, shrinks on coordinator-routed bursts.
+        # Inputs (kept traffic, consensus depth, simulated-time coverage)
+        # are all deterministic functions of the simulation, so the
+        # schedule -- and every counter derived from it -- is reproducible.
+        self.k_max = _ladder_k_max()
+        self.k_min = min(_K_MIN, self.k_max)
+        self.ladder_k = self.k_min
+        self.gen = 0
+        self.windows = 0
+        self.ladder_min: Optional[int] = None
+        self.ladder_max = 0
+        self.batch_msgs = 0
+        self.direct_emits = 0
         # Set by run_until(): True when wire messages scheduled past the
         # horizon were dropped (the sequential run would leave their
         # delivery events sitting in the queue, keeping now == horizon).
         self.leftover = False
 
-    def _recv(self, i: int):
-        try:
-            reply = self.rsps[i].recv()
-        except EOFError:
-            raise RuntimeError(
-                f"shard worker {i} died without reporting an error"
-            ) from None
+    def _absorb(self, i: int, reply: tuple) -> tuple:
         if reply[0] == "fatal":
             _, _, blob, tb = reply
             exc = pickle.loads(blob) if blob is not None else None
@@ -565,8 +1023,9 @@ class _Coordinator:
         return reply
 
     def handshake(self) -> None:
+        replies = self.links.collect_ready(self.shards)
         for i in range(self.shards):
-            reply = self._recv(i)
+            reply = self._absorb(i, replies[i])
             assert reply[0] == "ready"
             self.next_time[i] = reply[2]
 
@@ -586,49 +1045,78 @@ class _Coordinator:
         ]
 
     def round(self, horizon: Optional[float]) -> None:
-        """Grant one window to every shard (bounds capped at ``horizon``)."""
+        """One interaction: deliver pending batches, grant one ladder."""
         eff = self.effective_times()
-        bounds = []
-        for i in range(self.shards):
-            peers = [eff[j] for j in range(self.shards) if j != i]
-            bound = (min(peers) if peers else _INF) + self.lookahead
-            # Feedback cap: a peer's reaction to something shard i emits in
-            # this very window needs two wire hops to come back, so nothing
-            # can reach i before eff[i] + 2L. Without this cap an idle peer
-            # (eff = inf) would grant i an unbounded window that runs past
-            # the replies to its own in-window sends.
-            bound = min(bound, eff[i] + 2 * self.lookahead)
-            if horizon is not None:
-                bound = min(bound, horizon)
-            bounds.append(bound)
+        gmin_pre = min(eff)
+        self.gen += 1
         parity = self.rounds % 2
-        granted = []
+        depth = self.ladder_k
+        cap = _INF if horizon is None else horizon
+        msgs: Dict[int, tuple] = {}
+        incoming = 0
         for i in range(self.shards):
-            if not self.pending[i] and bounds[i] <= self.next_time[i]:
-                # Nothing to deliver and no event below the bound: the
-                # worker would only report its state back unchanged, so
-                # skip the wakeup entirely. This is the protocol's null
-                # message, elided. (Safe for arena recycling too: a shard
-                # with staged payloads pending is never skipped, so halves
-                # are always drained one round after they were filled.)
-                self.null_grants += 1
-                continue
-            msgs = sorted(self.pending[i], key=lambda m: (m[1], m[2]))
+            batch = sorted(self.pending[i], key=lambda m: (m[1], m[2]))
             self.pending[i] = []
-            self.cmds[i].send(("window", bounds[i], parity, msgs))
-            granted.append(i)
-        self.rounds += 1
-        for i in granted:
-            reply = self._recv(i)
-            _, _, peek, outbox, nevents, flag, done_time = reply
+            incoming += len(batch)
+            msgs[i] = (
+                "ladder", self.gen, parity, depth, eff, self.lookahead,
+                cap, batch,
+            )
+        self.batch_msgs += incoming
+        replies = self.links.dispatch(msgs)
+        consensus = set()
+        kept_any = False
+        emits_total = 0
+        for i in range(self.shards):
+            reply = self._absorb(i, replies[i])
+            _, _, peek, outbox, nevents, flag, done_time, completed, emits \
+                = reply
             self.next_time[i] = peek
             self.events[i] = nevents
             self.done_flags[i] = flag
             self.done_times[i] = done_time
-            self._route(outbox)
+            consensus.add(completed)
+            emits_total += emits
+            if outbox:
+                kept_any = True
+                self._route(outbox)
+        if len(consensus) != 1:
+            raise SimulationError(
+                f"ladder consensus broken: shards completed "
+                f"{sorted(consensus)} windows"
+            )
+        depth_run = consensus.pop()
+        if depth_run == 0:
+            raise SimulationError(
+                "ladder made no progress (empty bound schedule)"
+            )
+        self.rounds += 1
+        self.windows += depth_run
+        self.direct_emits += emits_total
+        self.ladder_min = (
+            depth_run if self.ladder_min is None
+            else min(self.ladder_min, depth_run)
+        )
+        self.ladder_max = max(self.ladder_max, depth_run)
+        if incoming == 0 and not kept_any and emits_total == 0:
+            self.null_grants += 1
+        if kept_any:
+            # Coordinator-routed burst: next interaction likely routes
+            # again soon, so match depth to what actually ran.
+            self.ladder_k = max(self.k_min, min(depth, _pow2ceil(depth_run)))
+        else:
+            post = min(self.effective_times())
+            coverage = post - gmin_pre
+            if post != _INF and coverage <= depth_run * 3 * self.lookahead:
+                # Crawl: stale-eff windows only advance ~one lookahead
+                # each, so extra depth buys nothing a refresh would not
+                # leap over -- hold at the cruise depth.
+                self.ladder_k = max(self.k_min, min(depth, _K_CRUISE))
+            else:
+                self.ladder_k = min(depth * 2, self.k_max)
 
     def run_until(self, horizon: float) -> None:
-        """Window rounds up to ``horizon``, then one inclusive final phase.
+        """Ladders up to ``horizon``, then one inclusive final phase.
 
         Mirrors the sequential ``run(until=horizon)``: events strictly
         below the horizon are processed in granted windows; the final
@@ -643,15 +1131,18 @@ class _Coordinator:
                 break
             self.round(horizon)
         leftover = False
+        msgs: Dict[int, tuple] = {}
         for i in range(self.shards):
             kept = [m for m in self.pending[i] if m[1] <= horizon]
             if len(kept) != len(self.pending[i]):
                 leftover = True
-            msgs = sorted(kept, key=lambda m: (m[1], m[2]))
+            msgs[i] = (
+                "until", horizon, sorted(kept, key=lambda m: (m[1], m[2]))
+            )
             self.pending[i] = []
-            self.cmds[i].send(("until", horizon, msgs))
+        replies = self.links.dispatch(msgs)
         for i in range(self.shards):
-            reply = self._recv(i)
+            reply = self._absorb(i, replies[i])
             self.next_time[i] = reply[2]
             if reply[3]:
                 leftover = True
@@ -661,7 +1152,7 @@ class _Coordinator:
         self.leftover = leftover
 
     def run_to_completion(self) -> float:
-        """Window rounds until every shard's rank programs finished.
+        """Ladders until every shard's rank programs finished.
 
         Returns the global finish time (max over shards' local finishes)
         and drains any in-flight messages arriving at or before it -- the
@@ -682,11 +1173,11 @@ class _Coordinator:
         return horizon
 
     def finish(self) -> List[dict]:
-        for i in range(self.shards):
-            self.cmds[i].send(("finish",))
+        msgs = {i: ("finish",) for i in range(self.shards)}
+        replies = self.links.dispatch(msgs)
         payloads = []
         for i in range(self.shards):
-            reply = self._recv(i)
+            reply = self._absorb(i, replies[i])
             assert reply[0] == "result"
             payloads.append(reply[2])
         return payloads
@@ -705,7 +1196,7 @@ def run_sharded_world(world, program, args, until: Optional[float] = None):
     cluster = world.cluster
     shards = cluster.shards
     shard_map = cluster.shard_map
-    lookahead = cluster.fabric.lookahead
+    lookahead = cluster.fabric.shard_lookahead(shard_map)
     ctx = mp.get_context("fork")
 
     shms = [
@@ -713,26 +1204,85 @@ def run_sharded_world(world, program, args, until: Optional[float] = None):
         for _ in range(shards)
     ]
     shm_names = [s.name for s in shms]
-    cmds, rsps, workers = [], [], []
-    try:
-        for i in range(shards):
-            cmd_r, cmd_w = ctx.Pipe(duplex=False)
-            rsp_r, rsp_w = ctx.Pipe(duplex=False)
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(i, cluster._build_spec, world._build_spec, shard_map,
-                      shm_names, program, args, cmd_r, rsp_w),
-                name=f"repro-shard-{i}",
-                daemon=True,
-            )
-            proc.start()
-            cmd_r.close()
-            rsp_w.close()
-            cmds.append(cmd_w)
-            rsps.append(rsp_r)
-            workers.append(proc)
+    slots_shm = shared_memory.SharedMemory(create=True, size=8 * shards)
+    slots_shm.buf[: 8 * shards] = bytes(8 * shards)
 
-        coord = _Coordinator(shards, lookahead, cmds, rsps)
+    # Per-pair barrier semaphores, created before any fork so every worker
+    # inherits the whole matrix: sems[i][j] is posted by shard j on each
+    # completed window and acquired by shard i at its barrier.
+    sems = [
+        [ctx.Semaphore(0) if i != j else None for j in range(shards)]
+        for i in range(shards)
+    ]
+
+    # Per-pair direct pipes (d_reads[dst][src] / d_writes[src][dst]) must
+    # exist before any fork; every process closes the rows it doesn't own.
+    d_reads = d_writes = None
+    if _direct_enabled(shards):
+        d_reads = [[None] * shards for _ in range(shards)]
+        d_writes = [[None] * shards for _ in range(shards)]
+        for a in range(shards):
+            for b in range(shards):
+                if a != b:
+                    r, w = ctx.Pipe(duplex=False)
+                    d_reads[b][a] = r
+                    d_writes[a][b] = w
+
+    fanout = _fanout()
+    conns: List[Any] = []
+    procs: List[Any] = []
+    links = None
+    try:
+        worker_tail = (world, shard_map,
+                       shm_names, slots_shm.name, sems, d_reads, d_writes,
+                       program, args)
+        if shards > fanout:
+            pod_ids = [
+                list(range(lo, min(lo + fanout, shards)))
+                for lo in range(0, shards, fanout)
+            ]
+            pod_cmds, pod_rsps = [], []
+            for ids in pod_ids:
+                cmd_r, cmd_w = ctx.Pipe(duplex=False)
+                rsp_r, rsp_w = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_pod_main,
+                    args=(ids,) + worker_tail + (cmd_r, rsp_w),
+                    name=f"repro-pod-{ids[0]}-{ids[-1]}",
+                    daemon=False,  # daemons cannot fork their workers
+                )
+                proc.start()
+                cmd_r.close()
+                rsp_w.close()
+                pod_cmds.append(cmd_w)
+                pod_rsps.append(rsp_r)
+                procs.append(proc)
+            conns = pod_cmds + pod_rsps
+            links = _PodLinks(pod_ids, pod_cmds, pod_rsps)
+        else:
+            cmds, rsps = [], []
+            for i in range(shards):
+                cmd_r, cmd_w = ctx.Pipe(duplex=False)
+                rsp_r, rsp_w = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(i,) + worker_tail + (cmd_r, rsp_w),
+                    name=f"repro-shard-{i}",
+                    daemon=True,
+                )
+                proc.start()
+                cmd_r.close()
+                rsp_w.close()
+                cmds.append(cmd_w)
+                rsps.append(rsp_r)
+                procs.append(proc)
+            conns = cmds + rsps
+            links = _FlatLinks(cmds, rsps)
+        # The parent never touches the direct pipes itself.
+        _close_direct_rows(d_reads, d_writes, keep=None)
+        d_reads = d_writes = None
+
+        coord = _Coordinator(shards, lookahead, links)
         coord.handshake()
         if until is not None:
             coord.run_until(float(until))
@@ -747,7 +1297,7 @@ def run_sharded_world(world, program, args, until: Optional[float] = None):
         else:
             final_now = coord.run_to_completion()
             payloads = coord.finish()
-        results = _merge(world, cluster, coord, payloads, final_now)
+        results = _merge(world, cluster, coord, links, payloads, final_now)
         if until is not None and not all(p["done_ok"] for p in payloads):
             from ..mpi.status import MpiError
 
@@ -757,17 +1307,20 @@ def run_sharded_world(world, program, args, until: Optional[float] = None):
             )
         return results
     finally:
-        for conn in cmds + rsps:
+        if links is not None:
+            links.shutdown()
+        _close_direct_rows(d_reads, d_writes, keep=None)
+        for conn in conns:
             try:
                 conn.close()
             except OSError:  # pragma: no cover
                 pass
-        for proc in workers:
+        for proc in procs:
             proc.join(timeout=5)
-            if proc.is_alive():  # pragma: no cover - hung worker
+            if proc.is_alive():  # pragma: no cover - hung worker/pod
                 proc.terminate()
                 proc.join(timeout=5)
-        for shm in shms:
+        for shm in shms + [slots_shm]:
             shm.close()
             try:
                 shm.unlink()
@@ -775,7 +1328,7 @@ def run_sharded_world(world, program, args, until: Optional[float] = None):
                 pass
 
 
-def _merge(world, cluster, coord: _Coordinator, payloads: List[dict],
+def _merge(world, cluster, coord: _Coordinator, links, payloads: List[dict],
            final_now: float):
     # Merge traces in shard order, then canonical (time-keyed) sort.
     cluster.tracer.merge_from(
@@ -786,16 +1339,37 @@ def _merge(world, cluster, coord: _Coordinator, payloads: List[dict],
         PERF.bump(f"shard{i}_events", p["events"])
     PERF.bump("shard_rounds", coord.rounds)
     PERF.bump("shard_null_grants", coord.null_grants)
+    PERF.bump("shard_windows", coord.windows)
+    PERF.bump("shard_pipe_msgs", links.pipe_msgs)
+    PERF.bump("shard_batch_msgs", coord.batch_msgs)
+    PERF.bump("shard_batch_bytes", links.sent_bytes)
+    if coord.rounds:
+        PERF.merge({
+            "shard_ladder_min": coord.ladder_min or 0,
+            "shard_ladder_max": coord.ladder_max,
+        })
     for kind, n in coord.msg_counts.items():
         PERF.bump(f"shard_route_{kind}", n)
 
+    direct_msgs = sum(p["perf"].get("shard_direct_msgs", 0) for p in payloads)
     world.shard_stats = {
         "shards": coord.shards,
         "rounds": coord.rounds,
+        "windows": coord.windows,
         "null_grants": coord.null_grants,
+        "ladder": (coord.ladder_min or 0,
+                   coord.windows / coord.rounds if coord.rounds else 0.0,
+                   coord.ladder_max),
+        "pipe_msgs": links.pipe_msgs,
+        "batch_msgs": coord.batch_msgs,
+        "batch_bytes": links.sent_bytes,
+        "direct_msgs": direct_msgs,
         "messages": dict(coord.msg_counts),
         "events": [p["events"] for p in payloads],
         "lookahead": coord.lookahead,
+        "pods": (
+            len(links.pod_ids) if isinstance(links, _PodLinks) else 0
+        ),
     }
 
     # The parent environment never ran: clear the replica bootstrap events
@@ -803,8 +1377,7 @@ def _merge(world, cluster, coord: _Coordinator, payloads: List[dict],
     # simulated time, so callers reading ``env.now`` (and gantt renderers)
     # see exactly what the sequential run reports.
     env = cluster.env
-    env._queue.clear()
-    env._imm.clear()
+    env._clear_schedule()
     if final_now > env.now:
         env._now = final_now
 
