@@ -23,6 +23,7 @@ import sys
 from .experiments import EXPERIMENTS
 from .parallel import run_many
 from .report import (
+    dtype_stats_footer,
     fault_stats_footer,
     perf_stats_footer,
     shard_stats_footer,
@@ -105,6 +106,9 @@ def main(argv=None) -> int:
     tune = tune_stats_footer()
     if tune:
         print(tune)
+    dtype = dtype_stats_footer()
+    if dtype:
+        print(dtype)
     return 0
 
 

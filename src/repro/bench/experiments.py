@@ -697,6 +697,271 @@ def fault_matrix(scale: str = "full", verify: bool = True,
     return result
 
 
+def dtype_zoo(scale: str = "full", shards: int = 1) -> dict:
+    """Equivalent-layout zoo: the datatype IR's canonicalization win.
+
+    Two families of layouts, each buildable through several MPI datatype
+    constructors that describe the *same* bytes:
+
+    * **uniform** -- a strided row grid expressed as ``vector``,
+      ``hvector``-of-contiguous, a 2-D ``subarray`` slab and a two-part
+      ``struct`` of half-vectors;
+    * **irregular** -- one seeded scatter of variable-length runs
+      expressed as ``hindexed``, ``indexed`` and an equal-typed
+      ``struct``.
+
+    The workload commits many *fresh* instances of every construction and
+    drives each through the full compiled-state surface (transfer-plan
+    compilation, per-chunk slicing and gather indices, simulated stage
+    costs, tuning signatures), once with ``use_dtir=False`` (every
+    instance compiles its own state) and once with the IR on (equivalent
+    constructions collapse onto one canonical registry entry and share
+    everything). Packed bytes, simulated costs and signatures are
+    asserted identical between the modes -- and across the members of
+    each family -- before the wall-clock pair is recorded in
+    ``BENCH_dtype.json`` (CI pins the speedup at >= 1.2x). ``shards > 1``
+    additionally replays a pipelined engine exchange in both modes and
+    asserts the merged traces are bit-identical.
+    """
+    import hashlib
+    import time
+
+    from ..hw.memory import Arena
+    from ..mpi import FLOAT, Datatype
+    from ..mpi import dtir
+    from ..perf.hotpath import record_dtype_comparison
+    from ..perf.stats import PERF
+
+    rows = (1 << 16) if scale == "full" else (1 << 13)
+    nseg = 12288 if scale == "full" else 1536
+    reps = 24 if scale == "full" else 4
+    count = 8
+    chunk = 64 * KiB
+    hw = HardwareConfig()
+
+    # One seeded irregular scatter shared by all three constructions:
+    # variable-length element runs at increasing element displacements.
+    rng = np.random.default_rng(20110926)
+    blk_elems = rng.integers(2, 18, size=nseg)
+    gaps = rng.integers(1, 9, size=nseg)
+    disp_elems = np.concatenate(([0], np.cumsum(blk_elems + gaps)[:-1]))
+    bls = [int(b) for b in blk_elems]
+    disps = [int(d) for d in disp_elems]
+    disps_b = [d * 4 for d in disps]
+
+    half = rows // 2
+
+    def u_vector():
+        return Datatype.vector(rows, 4, 16, FLOAT)
+
+    def u_hvector():
+        return Datatype.hvector(rows, 1, 64, Datatype.contiguous(4, FLOAT))
+
+    def u_subarray():
+        return Datatype.subarray([rows, 16], [rows, 4], [0, 0], FLOAT)
+
+    def u_struct():
+        h = Datatype.vector(half, 4, 16, FLOAT)
+        return Datatype.struct([1, 1], [0, half * 64], [h, h])
+
+    def i_hindexed():
+        return Datatype.hindexed(bls, disps_b, FLOAT)
+
+    def i_indexed():
+        return Datatype.indexed(bls, disps, FLOAT)
+
+    def i_struct():
+        return Datatype.struct(bls, disps_b, [FLOAT] * nseg)
+
+    families = [
+        ("uniform", [("vector", u_vector), ("hvector", u_hvector),
+                     ("subarray", u_subarray), ("struct", u_struct)]),
+        ("irregular", [("hindexed", i_hindexed), ("indexed", i_indexed),
+                       ("struct", i_struct)]),
+    ]
+    builders = [(fam, nm, fn) for fam, mem in families for nm, fn in mem]
+
+    def packed_digest(dt):
+        """Functionally pack one element through the compiled plan."""
+        plan = dt.plan_for(1, chunk, "device", "host")
+        hi = int(dt.segments.span()[1])
+        arena = Arena(max(hi, 1) + 4096, "device", name="zoo")
+        src = arena.alloc(max(hi, 1))
+        view = src.view()
+        view[:] = (np.arange(view.size, dtype=np.int64) * 131) % 251
+        dst = np.empty(plan.total, np.uint8)
+        for cp in plan.chunks:
+            cp.gather_into(src, dst[cp.lo:cp.hi])
+        return hashlib.blake2b(dst.tobytes(), digest_size=16).hexdigest()
+
+    def run_mode(enabled):
+        dtir.reset_registry()
+        dtir.set_enabled(enabled)
+        fingerprint = {}
+        entries = {}
+        plans = {}
+        # Correctness surface, outside the timed loop: packed bytes,
+        # simulated stage costs and signatures of one fresh instance of
+        # every construction.
+        for fam, nm, fn in builders:
+            dt = fn().commit()
+            plan = dt.plan_for(count, chunk, "device", "host")
+            costs = plan.costs_for(hw)
+            fingerprint[(fam, nm)] = (
+                packed_digest(dt),
+                dt.layout_signature(1).key(),
+                plan.nchunks,
+                tuple(sum(costs[k]) for k in ("pack", "d2h", "h2d")),
+            )
+            entries[(fam, nm)] = dt._entry()
+            # A second *fresh* instance of the same construction: with the
+            # IR on its plan must be the very same object.
+            plans[(fam, nm)] = (
+                plan, fn().commit().plan_for(count, chunk, "device", "host")
+            )
+        start = time.perf_counter()
+        for _ in range(reps):
+            for fam, nm, fn in builders:
+                dt = fn().commit()
+                plan = dt.plan_for(count, chunk, "device", "host")
+                plan.costs_for(hw)
+                dt.layout_signature(count)
+                dt.segments_for_count(count)
+        wall = time.perf_counter() - start
+        return fingerprint, entries, plans, wall
+
+    prior = dtir.enabled()
+    c0 = PERF.snapshot()
+    try:
+        run_mode(False)  # warm numpy/allocator before either timed pass
+        legacy_fp, _, legacy_plans, legacy_wall = run_mode(False)
+        dtir_fp, entries, dtir_plans, dtir_wall = run_mode(True)
+    finally:
+        dtir.set_enabled(prior)
+
+    if legacy_fp != dtir_fp:
+        raise RuntimeError(
+            "zoo: packed bytes / costs / signatures diverged between "
+            "use_dtir modes -- canonicalization is not bit-transparent"
+        )
+    for fam, members in families:
+        digests = {legacy_fp[(fam, nm)][0] for nm, _ in members}
+        sigs = {legacy_fp[(fam, nm)][1] for nm, _ in members}
+        if len(digests) != 1 or len(sigs) != 1:
+            raise RuntimeError(
+                f"zoo: {fam} family members packed different bytes or "
+                f"signatures -- the constructions are not equivalent"
+            )
+
+    delta = {
+        k: PERF.counters[k] - c0.get(k, 0)
+        for k in ("dtir_canon", "dtir_collision", "dtir_entry_reuse",
+                  "dtir_plan_shared", "dtir_sig_shared", "dtir_seg_shared")
+    }
+    if not dtir._FORCED_OFF:
+        for fam, members in families:
+            fam_entries = {id(entries[(fam, nm)]) for nm, _ in members}
+            if len(fam_entries) != 1 or entries[(fam, members[0][0])] is None:
+                raise RuntimeError(
+                    f"zoo: {fam} family did not collapse onto one "
+                    f"canonical registry entry"
+                )
+        for fam, nm, _ in builders:
+            first, second = dtir_plans[(fam, nm)]
+            if first is not second:
+                raise RuntimeError(
+                    f"zoo: two fresh {fam}/{nm} instances compiled "
+                    f"distinct plans with use_dtir on -- entry plan cache "
+                    f"not shared"
+                )
+        if delta["dtir_collision"] == 0 or delta["dtir_plan_shared"] == 0:
+            raise RuntimeError(
+                "zoo: expected canonical collisions and shared plans with "
+                f"use_dtir on; counters: {delta}"
+            )
+        record_dtype_comparison(
+            "zoo", scale, legacy_wall, dtir_wall,
+            extra={"instances": reps * len(builders),
+                   "collisions": delta["dtir_collision"],
+                   "plans_shared": delta["dtir_plan_shared"]},
+        )
+
+    result = {
+        "legacy_wall": legacy_wall,
+        "dtir_wall": dtir_wall,
+        "speedup": legacy_wall / dtir_wall if dtir_wall > 0 else 0.0,
+        "counters": delta,
+        "forced_off": dtir._FORCED_OFF,
+    }
+
+    trace_note = ""
+    if shards > 1:
+        trace_note = "\n" + _zoo_trace_equality(shards)
+
+    rows_txt = []
+    for fam, members in families:
+        rows_txt.append([
+            fam, str(len(members)), str(reps * len(members)),
+            str(legacy_fp[(fam, members[0][0])][1]),
+        ])
+    result["text"] = table(
+        ["Family", "Constructions", "Instances", "Canonical class"],
+        rows_txt,
+        title=f"Datatype zoo: equivalent layouts x {reps} reps, count={count}",
+    ) + (
+        f"\n\nlegacy (use_dtir=False): {legacy_wall:.2f}s   "
+        f"dtir: {dtir_wall:.2f}s   speedup {result['speedup']:.2f}x\n"
+        f"canonicalized {delta['dtir_canon']}, collisions "
+        f"{delta['dtir_collision']}, shared plans "
+        f"{delta['dtir_plan_shared']} / signatures "
+        f"{delta['dtir_sig_shared']} / tilings {delta['dtir_seg_shared']}\n"
+        "packed bytes, simulated costs and signatures identical in both "
+        "modes (verified)" + trace_note
+    )
+    return result
+
+
+def _zoo_trace_equality(shards: int) -> str:
+    """Pipelined engine exchange under both dtir modes: traces must match."""
+    from ..mpi import BYTE, Datatype, MpiWorld
+
+    rows_n = 1 << 12
+
+    def run(use_dtir):
+        vec = Datatype.hvector(rows_n, 4, 8, BYTE).commit()
+        cluster = Cluster(2, shards=shards)
+
+        def program(ctx):
+            buf = ctx.cuda.malloc(rows_n * 8)
+            if ctx.rank == 0:
+                yield from ctx.comm.Send(buf, 1, vec, dest=1)
+            else:
+                yield from ctx.comm.Recv(buf, 1, vec, source=0)
+
+        MpiWorld(cluster, gpu_config=GpuNcConfig(use_dtir=use_dtir)).run(
+            program
+        )
+        return cluster.tracer.intervals
+
+    from ..mpi import dtir
+
+    prior = dtir.enabled()
+    try:
+        with_ir = run(True)
+        without = run(False)
+    finally:
+        dtir.set_enabled(prior)
+    if with_ir != without:
+        raise RuntimeError(
+            f"zoo: engine traces diverged between use_dtir modes at "
+            f"shards={shards}"
+        )
+    return (
+        f"engine exchange at shards={shards}: {len(with_ir)} trace "
+        f"intervals bit-identical with use_dtir on/off (verified)"
+    )
+
+
 #: Registry used by the CLI and the per-experiment benchmarks.
 EXPERIMENTS = {
     "fig2": fig2_pack_schemes,
@@ -711,6 +976,7 @@ EXPERIMENTS = {
     "ablC": ablation_offload,
     "ablD": ablation_interconnect,
     "faultmx": fault_matrix,
+    "zoo": dtype_zoo,
     "scale": scale_weak_stencil,
     "scale1024": scale1024_weak_stencil,
 }

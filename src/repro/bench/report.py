@@ -16,6 +16,7 @@ __all__ = [
     "fault_stats_footer",
     "shard_stats_footer",
     "tune_stats_footer",
+    "dtype_stats_footer",
 ]
 
 
@@ -84,6 +85,24 @@ def tune_stats_footer(snapshot: Optional[Dict[str, int]] = None) -> str:
     stats = PerfStats()
     stats.merge(snapshot)
     return stats.tune_footer(active_provenance())
+
+
+def dtype_stats_footer(snapshot: Optional[Dict[str, int]] = None) -> str:
+    """One-line ``[dtype: ...]`` summary; empty when the datatype IR idled.
+
+    Reports the datatype compiler's canonicalization traffic: commits
+    canonicalized, canonical collisions (distinct constructions that
+    collapsed onto one form), pass rewrite counts and the compiled state
+    (tilings/slices/plans/signatures) served across instances. Nonzero
+    whenever ``use_dtir`` is on and derived datatypes were committed.
+    """
+    if snapshot is None:
+        return PERF.dtype_footer()
+    from ..perf.stats import PerfStats
+
+    stats = PerfStats()
+    stats.merge(snapshot)
+    return stats.dtype_footer()
 
 
 def format_size(nbytes: int) -> str:

@@ -47,6 +47,15 @@ class GpuNcConfig:
     #: trace-equality tests pin this), so the switch exists for those
     #: tests and for debugging.
     use_plans: bool = True
+    #: When True (default), committed datatypes canonicalize through the
+    #: datatype IR (:mod:`repro.mpi.dtir`): equivalent layouts collapse
+    #: onto one registry entry and share compiled tilings, chunk slices,
+    #: transfer plans and tuning signatures process-wide. Wall-clock
+    #: only -- simulated traces are bit-identical either way (pinned by
+    #: the dtir trace-equality tests); ``False`` restores the legacy
+    #: per-instance compilation path exactly. ``REPRO_DTIR=0`` in the
+    #: environment forces it off before any engine is constructed.
+    use_dtir: bool = True
     #: Optional :class:`~repro.tune.table.TuningTable` consulted at RTS
     #: time for a per-(layout, message-size) chunk preference; ``None``
     #: (default) keeps the engine bit-identical to the untuned code.

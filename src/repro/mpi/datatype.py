@@ -27,8 +27,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..perf.stats import PERF
+from . import dtir
 
 __all__ = ["Datatype", "SegmentList", "DatatypeError"]
+
+#: Marks a committed type that must *not* share a canonical entry (the
+#: registry refused it, e.g. on a digest collision); distinct from None,
+#: which means "not bound yet".
+_NO_ENTRY = object()
 
 #: Sentinel distinguishing "not yet computed" from a legitimate ``None``
 #: result in the :class:`SegmentList` memo slots.
@@ -170,21 +176,12 @@ class SegmentList:
         return self._uniform
 
     def _classify_uniform(self) -> Optional[Tuple[int, int, int]]:
-        if self.count == 0:
-            return None
-        lens = self.lengths
-        if not (lens == lens[0]).all():
-            return None
-        width = int(lens[0])
-        if self.count == 1:
-            return (width, 1, width)
-        deltas = np.diff(self.offsets)
-        if not (deltas == deltas[0]).all():
-            return None
-        pitch = int(deltas[0])
-        if pitch < width:
-            return None
-        return (width, self.count, pitch)
+        # One classifier for both the 2-D-copy fast path and the tuning
+        # signatures (tune/signature.py routes through the same
+        # LayoutClass), so the two can never disagree on edge cases
+        # again. Note the deliberate fix vs. the old in-line version:
+        # zero-width runs with count > 1 are irregular, never uniform.
+        return dtir.classify_segments(self).uniform_tuple()
 
     def gather_indices(self) -> np.ndarray:
         """Flat element indices covered, in pack order (general gather).
@@ -252,6 +249,8 @@ class Datatype:
         "_slice_cache",
         "_plan_cache",
         "_sig_cache",
+        "_ir",
+        "_canon_entry",
     )
 
     def __init__(
@@ -292,6 +291,12 @@ class Datatype:
         self._plan_cache: "OrderedDict[tuple, object]" = OrderedDict()
         # (version, count) -> LayoutSignature (tuning-table key; tiny).
         self._sig_cache: Dict[tuple, object] = {}
+        #: Symbolic IR tree built by the constructor (None when the
+        #: construction had no cheap symbolic form; detection covers it).
+        self._ir = None
+        #: Canonical-registry entry bound at commit (None = unbound,
+        #: _NO_ENTRY = refused; see :meth:`_entry`).
+        self._canon_entry = None
 
     # -- primitives --------------------------------------------------------------
     @classmethod
@@ -301,6 +306,8 @@ class Datatype:
         size = dt.itemsize
         segs = SegmentList(np.array([0], np.int64), np.array([size], np.int64))
         out = cls(name or dt.name.upper(), size, 0, size, segs, base_np=dt)
+        if size > 0:
+            out._ir = dtir.Contig(0, size)
         out._committed = True
         return out
 
@@ -358,7 +365,7 @@ class Datatype:
         lo, hi = segs.span()
         if count == 0 or blocklength == 0:
             lo = hi = 0
-        return cls(
+        out = cls(
             name or f"hvector({count},{blocklength},{stride_bytes})",
             size,
             lo,
@@ -366,6 +373,11 @@ class Datatype:
             segs,
             base_np=base.base_np,
         )
+        if base._ir is not None:
+            ir = dtir.tiled_node(base._ir, blocklength, base.extent)
+            if ir is not None:
+                out._ir = dtir.tiled_node(ir, count, stride_bytes)
+        return out
 
     @classmethod
     def indexed(
@@ -390,18 +402,30 @@ class Datatype:
         if len(blocklengths) != len(byte_displacements):
             raise DatatypeError("blocklengths and displacements length mismatch")
         parts: List[SegmentList] = []
+        symbolic = (base._ir is not None
+                    and len(blocklengths) <= dtir.MAX_SYMBOLIC_PARTS)
+        ir_parts: List[object] = []
         for bl, disp in zip(blocklengths, byte_displacements):
             if bl < 0:
                 raise DatatypeError("negative blocklength")
             if bl == 0:
                 continue
             parts.append(base.segments.tiled(bl, base.extent).shifted(disp))
+            if symbolic:
+                t = dtir.tiled_node(base._ir, bl, base.extent)
+                if t is None:
+                    symbolic = False
+                else:
+                    ir_parts.append(dtir.shifted(t, disp))
         segs = _concat_segments(parts).coalesced()
         size = base.size * sum(blocklengths)
         lo, hi = segs.span()
-        return cls(
+        out = cls(
             name or "hindexed", size, lo, hi - lo, segs, base_np=base.base_np
         )
+        if symbolic:
+            out._ir = dtir.struct_node(ir_parts)
+        return out
 
     @classmethod
     def indexed_block(
@@ -427,7 +451,10 @@ class Datatype:
         if base.committed:
             out._committed = True
         # The duplicate shares the base's typemap but must compile its own
-        # tilings under its own (type_id, version) scope.
+        # tilings under its own (type_id, version) scope. The symbolic IR
+        # (and therefore the canonical entry) carries over untouched:
+        # lb/extent normalization makes a dup canonically identical.
+        out._ir = base._ir
         out.invalidate_segment_cache()
         return out
 
@@ -443,6 +470,8 @@ class Datatype:
             raise DatatypeError("struct argument length mismatch")
         parts: List[SegmentList] = []
         size = 0
+        symbolic = len(blocklengths) <= dtir.MAX_SYMBOLIC_PARTS
+        ir_parts: List[object] = []
         for bl, disp, t in zip(blocklengths, byte_displacements, types):
             if bl < 0:
                 raise DatatypeError("negative blocklength")
@@ -450,12 +479,23 @@ class Datatype:
             if bl == 0:
                 continue
             parts.append(t.segments.tiled(bl, t.extent).shifted(disp))
+            if symbolic and t._ir is not None:
+                node = dtir.tiled_node(t._ir, bl, t.extent)
+                if node is None:
+                    symbolic = False
+                else:
+                    ir_parts.append(dtir.shifted(node, disp))
+            else:
+                symbolic = False
         segs = _concat_segments(parts).coalesced()
         lo, hi = segs.span()
         base_np = types[0].base_np if types else None
         if any(t.base_np != base_np for t in types):
             base_np = None
-        return cls("struct", size, lo, hi - lo, segs, base_np=base_np)
+        out = cls("struct", size, lo, hi - lo, segs, base_np=base_np)
+        if symbolic:
+            out._ir = dtir.struct_node(ir_parts)
+        return out
 
     @classmethod
     def subarray(
@@ -521,7 +561,7 @@ class Datatype:
             segs = _concat_segments(parts).coalesced()
         size = base.size * int(np.prod(subsizes))
         full = base.extent * int(np.prod(sizes))
-        return cls(
+        out = cls(
             f"subarray{tuple(subsizes)}of{tuple(sizes)}",
             size,
             0,
@@ -529,6 +569,21 @@ class Datatype:
             segs,
             base_np=base.base_np,
         )
+        if base.segments.count == 1 and int(base.segments.lengths[0]) == ext:
+            # Dense base: the subarray is literally a block grid (inner
+            # dim contiguous, one (count, stride) pair per outer dim).
+            off0 = int(sum(st * s for st, s in zip(starts_c, strides))) * ext
+            width = run_len * ext
+            if ndim == 1:
+                out._ir = dtir.Contig(off0, width)
+            else:
+                out._ir = dtir.BlockGrid(
+                    off0,
+                    tuple((subs_c[d], strides[d] * ext)
+                          for d in range(ndim - 1)),
+                    width,
+                )
+        return out
 
     #: Distribution kinds for :meth:`darray` (MPI_DISTRIBUTE_*).
     DIST_NONE = "none"
@@ -657,14 +712,43 @@ class Datatype:
         # A resized type tiles with a *different* extent: any compilation
         # keyed under the base's scope would be wrong here, so the new
         # instance starts from an explicitly invalidated (empty) cache.
+        # Canonically it is the *same layout* (extent normalization: the
+        # canonical key covers the runs, never lb/extent), so the shared
+        # entry keys tilings on (count, extent) instead.
+        out._ir = base._ir
         out.invalidate_segment_cache()
         return out
 
     # -- commit & queries -------------------------------------------------------------
     def commit(self) -> "Datatype":
-        """``MPI_Type_commit``. Returns self for chaining."""
+        """``MPI_Type_commit``. Returns self for chaining.
+
+        With the datatype IR enabled (``GpuNcConfig.use_dtir``, default
+        on), commit is where canonicalization happens: the constructor's
+        symbolic tree runs the rewrite passes, the compiled runs are
+        detected into their canonical node, and the type binds the
+        process-wide :class:`~repro.mpi.dtir.CanonicalEntry` it will
+        share with every equivalently laid-out type.
+        """
         self._committed = True
+        if dtir.enabled():
+            self._entry()
         return self
+
+    def _entry(self):
+        """This type's canonical-registry entry (None = legacy path).
+
+        Bound lazily so primitives (committed at creation) and
+        re-committed/invalidated types pick their entry up on first use;
+        disabled mode always returns None without touching the registry.
+        """
+        if not (self._committed and dtir.enabled()):
+            return None
+        e = self._canon_entry
+        if e is None:
+            e = dtir.register(self._segments, self._ir, self.type_id)
+            self._canon_entry = e if e is not None else _NO_ENTRY
+        return e if e is not _NO_ENTRY else None
 
     @property
     def committed(self) -> bool:
@@ -703,6 +787,13 @@ class Datatype:
             raise DatatypeError("count must be non-negative")
         if count == 1:
             return self._segments
+        if count > 1:
+            entry = self._entry()
+            if entry is not None:
+                # Canonical route: the tiling is compiled once per
+                # *layout* (keyed on count and extent) and shared by
+                # every equivalent committed type in the process.
+                return entry.segments_for(count, self.extent, self.type_id)
         cache = self._seg_cache
         segs = cache.get(count)
         if segs is not None:
@@ -728,6 +819,10 @@ class Datatype:
         full = self.segments_for_count(count)
         if lo == 0 and hi == full.total_bytes:
             return full
+        entry = self._entry()
+        if entry is not None:
+            ext = self.extent if count > 1 else 0
+            return entry.slice_for(full, count, ext, lo, hi, self.type_id)
         key = (count, lo, hi)
         cache = self._slice_cache
         segs = cache.get(key)
@@ -756,6 +851,11 @@ class Datatype:
         caches, the plan cache is a wall-clock optimization only: a cached
         plan is bit-identical to a fresh compilation.
         """
+        entry = self._entry()
+        if entry is not None:
+            ext = self.extent if count > 1 else 0
+            return entry.plan_for(self, count, ext, chunk_bytes,
+                                  src_kind, dst_kind)
         key = (self.version, count, chunk_bytes, src_kind, dst_kind)
         cache = self._plan_cache
         plan = cache.get(key)
@@ -786,6 +886,10 @@ class Datatype:
         self._slice_cache.clear()
         self._plan_cache.clear()
         self._sig_cache.clear()
+        # Unbind the canonical entry too: a committed type re-resolves it
+        # lazily (the registry itself is never mutated here -- other
+        # types sharing the entry keep their compilations).
+        self._canon_entry = None
         self.version += 1
         PERF.bump("cache_invalidation")
 
@@ -811,6 +915,10 @@ class Datatype:
         """
         from ..tune.signature import signature_of_segments
 
+        entry = self._entry()
+        if entry is not None:
+            ext = self.extent if count > 1 else 0
+            return entry.signature_for(self, count, ext)
         key = (self.version, count)
         sig = self._sig_cache.get(key)
         if sig is None:
@@ -856,6 +964,27 @@ class Datatype:
             f"  layout: {shape}\n"
             f"  segments: {' '.join(head)}{more}"
         )
+
+    def __getstate__(self) -> dict:
+        """Pickle without the canonical-entry link (and symbolic IR).
+
+        Shard workers unpickle datatypes into their own process, whose
+        registry is a different object: carrying an entry across would
+        silently fork the "shared" caches (and drag every cached plan
+        through the pickle). The receiving side re-binds lazily.
+        """
+        state = {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot not in ("_ir", "_canon_entry")
+        }
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for key, value in state.items():
+            setattr(self, key, value)
+        self._ir = None
+        self._canon_entry = None
 
     def __repr__(self) -> str:  # pragma: no cover
         state = "committed" if self._committed else "uncommitted"

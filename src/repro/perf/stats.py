@@ -87,6 +87,28 @@ recovery layer; all zero unless a FaultPlan or RecoveryConfig is armed)
     path when device staging timed out; bounded vbuf-acquisition waits
     that expired and were retried.
 
+Datatype-IR counters (:mod:`repro.mpi.dtir`; all zero with ``use_dtir``
+off)
+--------------------------------------------------------------------------
+``dtir_canon``
+    Commits canonicalized through the IR (detection + passes).
+``dtir_collision``
+    Canonical collisions: a distinct datatype instance whose canonical
+    form matched an existing registry entry (the collapse the IR is for).
+``dtir_entry_reuse``
+    Registry lookups that returned an existing entry (collisions plus
+    re-binds of the same type after invalidation).
+``dtir_nodes_before`` / ``dtir_nodes_after``
+    Symbolic IR node totals entering / leaving the pass pipeline.
+``dtir_rw_flatten`` / ``dtir_rw_coalesce`` / ``dtir_rw_unify`` / ``dtir_rw_dims``
+    Applied rewrites per pass (struct flattening, contiguous coalescing,
+    stride unification, dimension normalization).
+``dtir_seg_shared`` / ``dtir_slice_shared`` / ``dtir_plan_shared`` / ``dtir_sig_shared``
+    Cache hits served by a compilation another datatype instance created
+    -- the cross-instance sharing attributable to canonicalization (each
+    is a subset of the corresponding ``*_cache_hit`` counter; signatures
+    have no miss counter, so ``dtir_sig_shared`` stands alone).
+
 Tuning counters (:mod:`repro.tune`; all zero unless a table is attached)
 --------------------------------------------------------------------------
 ``tune_lookup_hit`` / ``tune_lookup_miss``
@@ -276,6 +298,41 @@ class PerfStats:
         if provenance:
             parts.append(f"table {provenance}")
         return "[tune: " + ", ".join(parts) + "]"
+
+    #: Rewrite-pass counters in footer order (name, short label).
+    DTIR_PASSES = (
+        ("dtir_rw_flatten", "flatten"),
+        ("dtir_rw_coalesce", "coalesce"),
+        ("dtir_rw_unify", "unify"),
+        ("dtir_rw_dims", "dims"),
+    )
+
+    def dtype_footer(self) -> str:
+        """The one-line ``[dtype: ...]`` footer; empty when the IR idled.
+
+        Summarizes the datatype compiler's work: how many commits were
+        canonicalized, how many collapsed onto an existing canonical
+        form, what the passes rewrote, and how much compiled state was
+        served across instances because of it.
+        """
+        c = self.counters
+        canon = c["dtir_canon"]
+        if not canon:
+            return ""
+        rw = " / ".join(
+            f"{c[name]} {label}" for name, label in self.DTIR_PASSES
+        )
+        shared = (
+            f"{c['dtir_seg_shared']} seg / {c['dtir_slice_shared']} slice / "
+            f"{c['dtir_plan_shared']} plan / {c['dtir_sig_shared']} sig"
+        )
+        parts = [
+            f"{canon} canon ({c['dtir_collision']} collisions)",
+            f"nodes {c['dtir_nodes_before']}->{c['dtir_nodes_after']}",
+            f"rw {rw}",
+            f"shared {shared}",
+        ]
+        return "[dtype: " + ", ".join(parts) + "]"
 
     def fault_footer(self) -> str:
         """The one-line ``[faults: ...]`` footer; empty when nothing fired.

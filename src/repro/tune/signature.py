@@ -95,11 +95,19 @@ class LayoutSignature:
 def signature_of_segments(segs) -> LayoutSignature:
     """Classify a :class:`~repro.mpi.datatype.SegmentList`.
 
-    Reuses the SegmentList's memoized uniformity analysis, so computing a
-    signature on a cached compilation costs two attribute reads.
+    Routed through the datatype IR's :func:`~repro.mpi.dtir.classify_segments`
+    -- the *same* classifier behind ``SegmentList.uniform()`` -- so the
+    tuning key and the 2-D-copy fast path can never diverge again. The
+    two remain deliberately distinct *views* of one classification: a
+    single segment classifies ``contig`` here while ``uniform()`` reports
+    the degenerate ``(width, 1, width)`` the copy path wants; zero-width
+    multi-segment layouts are irregular in both (previously ``uniform()``
+    accepted them -- the divergence this routing fixes).
     """
     if segs.count <= 1:
         return LayoutSignature("contig")
+    # ``uniform()`` memoizes ``dtir.classify_segments(...).uniform_tuple()``
+    # -- one classification source, two views.
     uniform = segs.uniform()
     if uniform is not None:
         width, _height, pitch = uniform

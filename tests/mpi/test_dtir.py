@@ -1,0 +1,348 @@
+"""The datatype IR: canonical forms, rewrite passes, shared registry.
+
+Three property groups pin the compiler's contract:
+
+* **lowering fidelity** -- for random constructor trees, the detected
+  canonical node and the symbolically canonicalized tree both lower to
+  exactly the legacy compiler's coalesced run arrays;
+* **equivalence collapse** -- the four textbook constructions of one
+  strided grid (vector, hvector-of-contig, subarray slab, struct of
+  half-vectors) share one canonical key, one tuning signature and one
+  compiled TransferPlan object;
+* **trace transparency** -- a pipelined engine exchange is bit-identical
+  with ``use_dtir`` on and off.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import BYTE, FLOAT, Datatype, SegmentList, dtir
+from repro.mpi.dtir_passes import canonicalize
+from repro.perf.stats import PERF
+from repro.tune.signature import signature_of_segments
+
+pytestmark = pytest.mark.skipif(
+    dtir._FORCED_OFF, reason="REPRO_DTIR=0 forces the datatype IR off"
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    """Each test gets an empty registry and the IR enabled."""
+    prior = dtir.enabled()
+    dtir.reset_registry()
+    dtir.set_enabled(True)
+    yield
+    dtir.set_enabled(prior)
+    dtir.reset_registry()
+
+
+@st.composite
+def datatypes(draw, depth=2):
+    """A random datatype through the constructor algebra."""
+    prims = [BYTE, Datatype.named(np.int16), Datatype.named(np.float32)]
+    if depth == 0:
+        return draw(st.sampled_from(prims))
+    base = draw(datatypes(depth=depth - 1))
+    kind = draw(st.sampled_from(
+        ["prim", "contig", "vector", "hvector", "indexed", "struct",
+         "subarray", "resized", "dup"]
+    ))
+    if kind == "prim":
+        return draw(st.sampled_from(prims))
+    if kind == "contig":
+        return Datatype.contiguous(draw(st.integers(1, 4)), base)
+    if kind == "vector":
+        return Datatype.vector(
+            draw(st.integers(1, 4)), draw(st.integers(1, 3)),
+            draw(st.integers(1, 5)), base,
+        )
+    if kind == "hvector":
+        return Datatype.hvector(
+            draw(st.integers(1, 4)), draw(st.integers(1, 3)),
+            draw(st.integers(0, 48)), base,
+        )
+    if kind == "indexed":
+        n = draw(st.integers(1, 3))
+        blocklengths = draw(
+            st.lists(st.integers(0, 3), min_size=n, max_size=n)
+        )
+        displacements = draw(
+            st.lists(st.integers(0, 6), min_size=n, max_size=n)
+        )
+        return Datatype.indexed(blocklengths, displacements, base)
+    if kind == "struct":
+        other = draw(st.sampled_from(prims))
+        return Datatype.struct(
+            [draw(st.integers(1, 2)), draw(st.integers(1, 2))],
+            [0, draw(st.integers(8, 64))],
+            [base, other],
+        )
+    if kind == "subarray":
+        rows = draw(st.integers(1, 4))
+        cols = draw(st.integers(1, 4))
+        sub_r = draw(st.integers(1, rows))
+        sub_c = draw(st.integers(1, cols))
+        return Datatype.subarray(
+            [rows, cols], [sub_r, sub_c],
+            [draw(st.integers(0, rows - sub_r)),
+             draw(st.integers(0, cols - sub_c))],
+            base,
+        )
+    if kind == "resized":
+        lo, hi = base.segments.span()
+        extent = draw(st.integers(max(hi, 1), max(hi, 1) + 32))
+        return Datatype.resized(base, 0, extent)
+    return Datatype.dup(base)
+
+
+# ---------------------------------------------------------------------------
+# Lowering fidelity
+# ---------------------------------------------------------------------------
+
+
+@given(dt=datatypes())
+@settings(max_examples=80, deadline=None)
+def test_detected_node_lowers_to_legacy_runs(dt):
+    segs = dt.segments
+    det = dtir.detect(segs.offsets, segs.lengths)
+    offs, lens = dtir.lower(det)
+    assert np.array_equal(offs, segs.offsets)
+    assert np.array_equal(lens, segs.lengths)
+
+
+@given(dt=datatypes())
+@settings(max_examples=80, deadline=None)
+def test_symbolic_canonicalization_preserves_lowering(dt):
+    if dt._ir is None:
+        return
+    segs = dt.segments
+    sym = canonicalize(dt._ir)
+    offs, lens = dtir.coalesce_runs(*dtir.lower(sym))
+    assert np.array_equal(offs, segs.offsets)
+    assert np.array_equal(lens, segs.lengths)
+    # When the passes fully normalize the tree, they must land on the
+    # same node detection derives from the run arrays.
+    det = dtir.detect(segs.offsets, segs.lengths)
+    if not isinstance(sym, (dtir.Struct, dtir.Irregular)):
+        assert sym == det
+
+
+@given(dt=datatypes())
+@settings(max_examples=60, deadline=None)
+def test_canonicalize_is_idempotent_and_deterministic(dt):
+    if dt._ir is None:
+        return
+    once = canonicalize(dt._ir)
+    assert canonicalize(once) == once
+    assert canonicalize(dt._ir) == once
+
+
+@given(dt=datatypes(), count=st.integers(2, 5), cuts=st.integers(0, 3))
+@settings(max_examples=60, deadline=None)
+def test_committed_compilations_bit_identical_to_legacy(dt, count, cuts):
+    """Registry-served tilings/slices equal a from-scratch compilation."""
+    dt.commit()
+    want = dt.segments.tiled(count, dt.extent).coalesced()
+    got = dt.segments_for_count(count)
+    assert np.array_equal(got.offsets, want.offsets)
+    assert np.array_equal(got.lengths, want.lengths)
+    total = want.total_bytes
+    lo = min(cuts, total)
+    hi = max(lo, total - cuts)
+    want_slice = want.slice_bytes(lo, hi)
+    got_slice = dt.segments_for_range(count, lo, hi)
+    assert np.array_equal(got_slice.offsets, want_slice.offsets)
+    assert np.array_equal(got_slice.lengths, want_slice.lengths)
+    assert np.array_equal(
+        got_slice.gather_indices(), want_slice.gather_indices()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Equivalence collapse
+# ---------------------------------------------------------------------------
+
+ROWS = 64
+
+
+def equivalent_grid_builders():
+    """Four constructions of the same 64x16B-row grid at 64B pitch."""
+    half = ROWS // 2
+
+    def u_struct():
+        h = Datatype.vector(half, 4, 16, FLOAT)
+        return Datatype.struct([1, 1], [0, half * 64], [h, h])
+
+    return [
+        ("vector", lambda: Datatype.vector(ROWS, 4, 16, FLOAT)),
+        ("hvector", lambda: Datatype.hvector(
+            ROWS, 1, 64, Datatype.contiguous(4, FLOAT))),
+        ("subarray", lambda: Datatype.subarray(
+            [ROWS, 16], [ROWS, 4], [0, 0], FLOAT)),
+        ("struct", u_struct),
+    ]
+
+
+def test_equivalent_constructions_share_canonical_key():
+    keys = set()
+    for _, build in equivalent_grid_builders():
+        dt = build().commit()
+        entry = dt._entry()
+        assert entry is not None
+        keys.add(entry.key)
+    assert len(keys) == 1
+    assert dtir.registry_size() == 1
+    (key,) = keys
+    assert key == ("sr", 0, ROWS, 16, 64)
+
+
+def test_equivalent_constructions_share_signature_and_plan():
+    sigs = set()
+    plans = []
+    for _, build in equivalent_grid_builders():
+        dt = build().commit()
+        sigs.add(dt.layout_signature(1).key())
+        plans.append(dt.plan_for(1, 4096, "device", "host"))
+    assert sigs == {"uniform:w16:p64"}
+    assert all(p is plans[0] for p in plans)
+
+
+def test_fresh_instances_share_one_plan_object():
+    a = Datatype.vector(ROWS, 4, 16, FLOAT).commit()
+    b = Datatype.vector(ROWS, 4, 16, FLOAT).commit()
+    pa = a.plan_for(3, 4096, "device", "host")
+    pb = b.plan_for(3, 4096, "device", "host")
+    assert pa is pb
+    c = Datatype.hvector(ROWS, 1, 64, Datatype.contiguous(4, FLOAT)).commit()
+    assert c.plan_for(3, 4096, "device", "host") is pa
+
+
+def test_collision_and_reuse_counters():
+    before = PERF.snapshot()
+    for _, build in equivalent_grid_builders():
+        build().commit().layout_signature(1)
+    delta = {
+        k: PERF.counters[k] - before.get(k, 0)
+        for k in ("dtir_canon", "dtir_entry_reuse", "dtir_collision")
+    }
+    assert delta["dtir_canon"] == 4
+    assert delta["dtir_entry_reuse"] == 3
+    assert delta["dtir_collision"] == 3
+
+
+def test_irregular_constructions_collapse_too():
+    bls = [2, 5, 1, 3]
+    disps = [0, 7, 19, 25]
+    a = Datatype.hindexed(bls, [d * 4 for d in disps], FLOAT).commit()
+    b = Datatype.indexed(bls, disps, FLOAT).commit()
+    c = Datatype.struct(bls, [d * 4 for d in disps], [FLOAT] * 4).commit()
+    ea, eb, ec = a._entry(), b._entry(), c._entry()
+    assert ea is not None and ea is eb and eb is ec
+    assert ea.key[0] == "irr"
+    assert a.layout_signature(1) == b.layout_signature(1)
+
+
+def test_resized_and_dup_share_the_base_entry():
+    vec = Datatype.vector(ROWS, 4, 16, FLOAT).commit()
+    padded = Datatype.resized(vec, 0, vec.extent + 64).commit()
+    copy = Datatype.dup(vec).commit()
+    assert vec._entry() is padded._entry()
+    assert vec._entry() is copy._entry()
+    # ...but extent participates where tiling makes it observable:
+    assert padded.layout_signature(3) != vec.layout_signature(3)
+    assert copy.layout_signature(3) == vec.layout_signature(3)
+
+
+def test_disabled_ir_keeps_legacy_per_instance_plans():
+    dtir.set_enabled(False)
+    a = Datatype.vector(ROWS, 4, 16, FLOAT).commit()
+    b = Datatype.vector(ROWS, 4, 16, FLOAT).commit()
+    assert a._entry() is None and b._entry() is None
+    pa = a.plan_for(3, 4096, "device", "host")
+    pb = b.plan_for(3, 4096, "device", "host")
+    assert pa is not pb
+    assert dtir.registry_size() == 0
+
+
+def test_committed_type_with_entry_survives_pickle():
+    """Shard workers pickle datatypes; entries re-bind in-process."""
+    vec = Datatype.vector(ROWS, 4, 16, FLOAT).commit()
+    assert vec._entry() is not None
+    clone = pickle.loads(pickle.dumps(vec))
+    assert clone.committed
+    assert np.array_equal(clone.segments.offsets, vec.segments.offsets)
+    got = clone.segments_for_count(3)
+    want = vec.segments_for_count(3)
+    assert np.array_equal(got.offsets, want.offsets)
+    assert np.array_equal(got.lengths, want.lengths)
+
+
+# ---------------------------------------------------------------------------
+# Unified classifier (the uniform()/signature divergence fix)
+# ---------------------------------------------------------------------------
+
+
+def test_zero_width_runs_are_irregular_in_both_views():
+    segs = SegmentList(np.array([0, 8], np.int64), np.array([0, 0], np.int64))
+    assert segs.uniform() is None
+    assert signature_of_segments(segs).kind == "irregular"
+
+
+def test_single_segment_dual_view():
+    segs = SegmentList(np.array([8], np.int64), np.array([16], np.int64))
+    assert segs.uniform() == (16, 1, 16)
+    assert signature_of_segments(segs).kind == "contig"
+    assert dtir.classify_segments(segs).kind == "contig"
+
+
+def test_classifier_agrees_with_signature_on_uniform():
+    segs = SegmentList(
+        np.arange(6, dtype=np.int64) * 24, np.full(6, 8, np.int64)
+    )
+    klass = dtir.classify_segments(segs)
+    assert klass.kind == "uniform"
+    assert klass.uniform_tuple() == (8, 6, 24)
+    assert segs.uniform() == (8, 6, 24)
+    sig = signature_of_segments(segs)
+    assert (sig.kind, sig.width, sig.pitch) == ("uniform", 8, 24)
+
+
+# ---------------------------------------------------------------------------
+# Trace transparency
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("shards", [1, 2])
+def test_engine_traces_bit_identical_with_and_without_ir(shards):
+    from repro.core import GpuNcConfig
+    from repro.hw import Cluster
+    from repro.mpi import MpiWorld
+
+    rows = 1 << 10
+
+    def run(use_dtir):
+        dtir.reset_registry()
+        vec = Datatype.hvector(rows, 4, 8, BYTE).commit()
+        cluster = Cluster(2, shards=shards)
+
+        def program(ctx):
+            buf = ctx.cuda.malloc(rows * 8)
+            if ctx.rank == 0:
+                yield from ctx.comm.Send(buf, 1, vec, dest=1)
+            else:
+                yield from ctx.comm.Recv(buf, 1, vec, source=0)
+
+        MpiWorld(cluster, gpu_config=GpuNcConfig(use_dtir=use_dtir)).run(
+            program
+        )
+        return cluster.tracer.intervals
+
+    with_ir = run(True)
+    without = run(False)
+    assert with_ir == without
+    assert len(with_ir) > 0

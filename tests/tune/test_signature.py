@@ -100,3 +100,49 @@ class TestDatatypeSignatures:
         vec.invalidate_segment_cache()
         again = vec.layout_signature(1)
         assert again == first  # recomputed, equal
+
+
+class TestClassifierConsistency:
+    """Regression: ``SegmentList.uniform()`` and ``signature_of_segments``
+    both derive from :func:`repro.mpi.dtir.classify_segments` -- one
+    classification, two views. The legacy pair could disagree on the
+    edges (zero-width runs, single segments)."""
+
+    def test_zero_width_multi_segment_irregular_everywhere(self):
+        import numpy as np
+
+        from repro.mpi import SegmentList
+        from repro.tune.signature import signature_of_segments
+
+        segs = SegmentList(
+            np.array([0, 8], np.int64), np.array([0, 0], np.int64)
+        )
+        # The old uniform classifier accepted width == 0 with count > 1
+        # while the signature side called it irregular -- a 2-D copy of
+        # zero-width rows is meaningless, so both must refuse now.
+        assert segs.uniform() is None
+        assert signature_of_segments(segs).kind == "irregular"
+
+    def test_single_segment_contig_with_degenerate_uniform_view(self):
+        import numpy as np
+
+        from repro.mpi import SegmentList
+        from repro.tune.signature import signature_of_segments
+
+        segs = SegmentList(np.array([8], np.int64), np.array([16], np.int64))
+        # One run IS a 1-row 2-D copy (the pack fast path wants the
+        # tuple) but its tuning kind is "contig", not "uniform".
+        assert segs.uniform() == (16, 1, 16)
+        assert signature_of_segments(segs).kind == "contig"
+
+    def test_empty_layout(self):
+        import numpy as np
+
+        from repro.mpi import SegmentList
+        from repro.tune.signature import signature_of_segments
+
+        segs = SegmentList(
+            np.array([], np.int64), np.array([], np.int64)
+        )
+        assert segs.uniform() is None
+        assert signature_of_segments(segs).kind == "contig"
