@@ -23,6 +23,7 @@ import sys
 from .experiments import EXPERIMENTS
 from .parallel import run_many
 from .report import (
+    backend_stats_footer,
     dtype_stats_footer,
     fault_stats_footer,
     perf_stats_footer,
@@ -109,6 +110,9 @@ def main(argv=None) -> int:
     dtype = dtype_stats_footer()
     if dtype:
         print(dtype)
+    backend = backend_stats_footer()
+    if backend:
+        print(backend)
     return 0
 
 

@@ -41,6 +41,7 @@ __all__ = [
     "ablation_chunk_size",
     "ablation_engines",
     "fault_matrix",
+    "conformance",
     "scale_weak_stencil",
     "EXPERIMENTS",
 ]
@@ -962,6 +963,219 @@ def _zoo_trace_equality(shards: int) -> str:
     )
 
 
+# ---------------------------------------------------------------------------
+# Backend conformance (transfer backends x Hunold/Traeff guidelines)
+# ---------------------------------------------------------------------------
+
+def _backend_irregular_digest(backend: str, nseg: int, seed: int) -> str:
+    """Digest of the bytes one forced backend delivers for a seeded
+    hindexed scatter (rank 0 -> rank 1, device to device)."""
+    import hashlib
+
+    from ..mpi import BYTE, Datatype
+
+    rng = np.random.default_rng(seed)
+    blk = rng.integers(8, 64, size=nseg)
+    gaps = rng.integers(4, 32, size=nseg)
+    disp = np.concatenate(([0], np.cumsum(blk + gaps)[:-1]))
+    dt = Datatype.hindexed(
+        [int(b) for b in blk], [int(d) for d in disp], BYTE
+    ).commit()
+    span = int(disp[-1] + blk[-1])
+    pattern = rng.integers(0, 256, span, np.uint8)
+
+    def program(ctx):
+        dbuf = ctx.cuda.malloc(span)
+        if ctx.rank == 0:
+            dbuf.fill_from(pattern)
+            yield from ctx.comm.Send(dbuf, 1, dt, dest=1)
+            return None
+        yield from ctx.comm.Recv(dbuf, 1, dt, source=0)
+        return hashlib.blake2b(dbuf.view().tobytes(),
+                               digest_size=16).hexdigest()
+
+    cluster = Cluster(2)
+    world = MpiWorld(cluster, gpu_config=GpuNcConfig(backend=backend))
+    return world.run(program)[1]
+
+
+def conformance(scale: str = "full", verify: bool = True) -> dict:
+    """Backend conformance: every transfer backend, mechanically checked.
+
+    Sweeps zoo-style layouts (a fine 4-byte-segment vector, a wide
+    4 KB-segment vector and a seeded irregular ``hindexed`` scatter)
+    across the three transfer backends (``gpu`` pipeline, ``host``
+    strided-PCIe staging, ``nic`` descriptor offload) and asserts, for
+    every point:
+
+    * **byte equality** -- all backends deliver byte-for-byte identical
+      receive buffers (``verify=True`` payload checks on the vector
+      workloads, explicit digests on the irregular scatter);
+    * **Hunold/Traeff guidelines** -- tuned >= default >= naive and
+      datatype >= manual pack (in throughput terms: the tuned chooser is
+      never slower than the default backend, which is never slower than
+      the ``Cpy2D+Send`` naive design or the hand-pipelined manual pack,
+      within :data:`~repro.core.backends.GUIDELINE_TOLERANCE`).
+
+    The forced-backend measurements then build an in-memory
+    backend-aware tuning table (winner by measured latency, filtered
+    through :func:`~repro.core.backends.guideline_backend` so a backend
+    whose *modeled* cost is out of tolerance can never be picked on a
+    lucky measurement), the tuned chooser re-runs every point against
+    the default config, and each pair is pinned in ``BENCH_backend.json``
+    -- where CI asserts speedup >= 1.0 everywhere and > 1.0 somewhere.
+    """
+    from ..baselines import manual_pipeline_latency, naive_vector_latency
+    from ..core.backends import (
+        BACKEND_NAMES,
+        GUIDELINE_TOLERANCE,
+        guideline_backend,
+    )
+    from ..mpi import BYTE, Datatype
+    from ..perf.hotpath import record_backend_comparison
+    from ..tune import TuningEntry, TuningTable, size_bucket
+    from ..tune.table import cluster_config_hash
+
+    hw = HardwareConfig.fermi_qdr()
+    tol = 1.0 + GUIDELINE_TOLERANCE
+    iterations = 3 if scale == "full" else 2
+    nseg = 512 if scale == "full" else 96
+    layouts = [
+        ("fine-vector", 4, [4 * KiB, 64 * KiB] +
+         ([1 * MiB] if scale == "full" else [])),
+        ("wide-vector", 4 * KiB, [16 * KiB, 64 * KiB, 256 * KiB] +
+         ([1 * MiB] if scale == "full" else [])),
+    ]
+    default_chunk = GpuNcConfig().chunk_bytes
+
+    # Irregular scatter: every backend must deliver identical bytes.
+    digests = {
+        b: _backend_irregular_digest(b, nseg, seed=20111017)
+        for b in BACKEND_NAMES
+    }
+    if len(set(digests.values())) != 1:
+        raise RuntimeError(
+            f"conformance: backends delivered different bytes for the "
+            f"irregular scatter: {digests}"
+        )
+
+    table = TuningTable(cluster_config_hash(hw))
+    rows = []
+    points = []
+    for layout, elem, sizes in layouts:
+        for size in sizes:
+            # Forced-backend sweep; verify=True asserts each backend
+            # delivers the exact sent pattern (hence all identical).
+            measured = {
+                b: mv2_gpu_nc_latency(
+                    size, elem_bytes=elem, iterations=iterations,
+                    verify=verify,
+                    gpu_config=GpuNcConfig(backend=b),
+                )
+                for b in BACKEND_NAMES
+            }
+            default_lat = mv2_gpu_nc_latency(
+                size, elem_bytes=elem, iterations=iterations, verify=verify,
+            )
+            naive_lat = naive_vector_latency(
+                size, elem_bytes=elem, iterations=iterations, verify=verify,
+            )
+            manual_lat = manual_pipeline_latency(
+                size, elem_bytes=elem, iterations=iterations, verify=verify,
+            )
+            # Hunold/Traeff: the library datatype path must not lose to
+            # the naive copy-then-send or the hand-pipelined manual pack.
+            if default_lat > naive_lat * tol:
+                raise RuntimeError(
+                    f"conformance: default backend slower than naive "
+                    f"Cpy2D+Send for {layout}@{size}: "
+                    f"{default_lat:.2e}s vs {naive_lat:.2e}s"
+                )
+            if default_lat > manual_lat * tol:
+                raise RuntimeError(
+                    f"conformance: default backend slower than manual "
+                    f"pack for {layout}@{size}: "
+                    f"{default_lat:.2e}s vs {manual_lat:.2e}s"
+                )
+            vec = Datatype.hvector(size // elem, elem, 2 * elem, BYTE).commit()
+            winner = guideline_backend(hw, vec, 1, default_chunk, measured)
+            table.set(
+                vec.layout_signature(1), size_bucket(size),
+                TuningEntry(
+                    chunk_bytes=default_chunk,
+                    pipeline_threshold=default_chunk,
+                    tbuf_chunks=GpuNcConfig().tbuf_chunks,
+                    use_plans=True, backend=winner,
+                ),
+            )
+            points.append((layout, elem, size, measured, default_lat,
+                           naive_lat, manual_lat, winner))
+
+    # Tuned-chooser pass: same transfers, table attached, backend and
+    # chunk resolved per layout-signature x size bucket at RTS time.
+    speedups = []
+    for layout, elem, size, measured, default_lat, naive_lat, manual_lat, \
+            winner in points:
+        tuned_lat = mv2_gpu_nc_latency(
+            size, elem_bytes=elem, iterations=iterations, verify=verify,
+            tuning=table,
+        )
+        if tuned_lat > default_lat * tol:
+            raise RuntimeError(
+                f"conformance: tuned chooser slower than default for "
+                f"{layout}@{size}: {tuned_lat:.2e}s vs {default_lat:.2e}s"
+            )
+        speedup = default_lat / tuned_lat if tuned_lat else 1.0
+        speedups.append(speedup)
+        record_backend_comparison(
+            f"{layout}:s{size_bucket(size)}", default_lat, tuned_lat,
+            winner, default_chunk,
+        )
+        rows.append([
+            layout, format_size(size),
+            f"{naive_lat * 1e6:.1f}", f"{manual_lat * 1e6:.1f}",
+            f"{measured['gpu'] * 1e6:.1f}", f"{measured['host'] * 1e6:.1f}",
+            f"{measured['nic'] * 1e6:.1f}",
+            winner, f"{tuned_lat * 1e6:.1f}", f"{speedup:.2f}x",
+        ])
+
+    if max(speedups) <= 1.0:
+        raise RuntimeError(
+            "conformance: tuned chooser never beat the default backend "
+            "on any layout x size bucket"
+        )
+
+    result = {
+        "digest": next(iter(digests.values())),
+        "points": [
+            {"layout": lo, "size": s, "measured": m, "default": d,
+             "naive": n, "manual": mp, "backend": w}
+            for lo, _, s, m, d, n, mp, w in points
+        ],
+        "speedups": speedups,
+        "best_speedup": max(speedups),
+    }
+    result["text"] = table_render_conformance(rows, max(speedups))
+    return result
+
+
+def table_render_conformance(rows, best: float) -> str:
+    """Render the conformance sweep table plus the guideline summary."""
+    return table(
+        ["Layout", "Message", "naive", "manual", "gpu", "host", "nic",
+         "chosen", "tuned", "speedup"],
+        rows,
+        title="Backend conformance: forced-backend latency (us) and the "
+        "tuned chooser",
+    ) + (
+        f"\n\nbyte equality: all backends identical on every point "
+        f"(verified)\nHunold/Traeff: tuned >= default >= naive and "
+        f"datatype >= manual pack hold on every point (verified)\n"
+        f"best tuned-chooser speedup over the default backend: "
+        f"{best:.2f}x (pinned in BENCH_backend.json)"
+    )
+
+
 #: Registry used by the CLI and the per-experiment benchmarks.
 EXPERIMENTS = {
     "fig2": fig2_pack_schemes,
@@ -977,6 +1191,7 @@ EXPERIMENTS = {
     "ablD": ablation_interconnect,
     "faultmx": fault_matrix,
     "zoo": dtype_zoo,
+    "conformance": conformance,
     "scale": scale_weak_stencil,
     "scale1024": scale1024_weak_stencil,
 }

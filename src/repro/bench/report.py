@@ -17,6 +17,7 @@ __all__ = [
     "shard_stats_footer",
     "tune_stats_footer",
     "dtype_stats_footer",
+    "backend_stats_footer",
 ]
 
 
@@ -103,6 +104,23 @@ def dtype_stats_footer(snapshot: Optional[Dict[str, int]] = None) -> str:
     stats = PerfStats()
     stats.merge(snapshot)
     return stats.dtype_footer()
+
+
+def backend_stats_footer(snapshot: Optional[Dict[str, int]] = None) -> str:
+    """One-line ``[backend: ...]`` summary; empty on the default path.
+
+    Reports per-backend chunk counts, NIC descriptors posted and
+    guideline vetoes whenever any transfer in the run left the default
+    GPU-pack backend (a forced backend, or a tuned chooser resolving
+    ``host``/``nic``). Runs that never leave the default print nothing.
+    """
+    if snapshot is None:
+        return PERF.backend_footer()
+    from ..perf.stats import PerfStats
+
+    stats = PerfStats()
+    stats.merge(snapshot)
+    return stats.backend_footer()
 
 
 def format_size(nbytes: int) -> str:

@@ -5,6 +5,16 @@ detection, datatype pack/unpack offloaded to the GPU, and the chunked
 five-stage pipeline (D2D pack -> D2H -> RDMA -> H2D -> D2D unpack).
 """
 
+from .backends import (
+    BACKENDS,
+    GpuPipelineBackend,
+    HostStagedBackend,
+    NicOffloadBackend,
+    TransferBackend,
+    guideline_backend,
+    modeled_chunk_cost,
+    nic_offload_cost,
+)
 from .config import GpuNcConfig, RecoveryConfig
 from .detect import buffer_location, is_device_ptr, is_host_ptr
 from .gpu_pack import gpu_pack_chunk, gpu_pack_cost, gpu_unpack_chunk
@@ -17,6 +27,14 @@ __all__ = [
     "GpuNcEngine",
     "LayoutPlan",
     "TbufPool",
+    "TransferBackend",
+    "GpuPipelineBackend",
+    "HostStagedBackend",
+    "NicOffloadBackend",
+    "BACKENDS",
+    "guideline_backend",
+    "modeled_chunk_cost",
+    "nic_offload_cost",
     "is_device_ptr",
     "is_host_ptr",
     "buffer_location",

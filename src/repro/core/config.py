@@ -56,6 +56,13 @@ class GpuNcConfig:
     #: per-instance compilation path exactly. ``REPRO_DTIR=0`` in the
     #: environment forces it off before any engine is constructed.
     use_dtir: bool = True
+    #: Which transfer backend moves strided chunks: ``"auto"`` (default)
+    #: follows the tuning table when one is attached and otherwise uses
+    #: the GPU-pack pipeline (exactly the historical engine); ``"gpu"``,
+    #: ``"host"`` and ``"nic"`` force one
+    #: :class:`~repro.core.backends.TransferBackend` for every strided
+    #: transfer (ablations and the conformance sweep).
+    backend: str = "auto"
     #: Optional :class:`~repro.tune.table.TuningTable` consulted at RTS
     #: time for a per-(layout, message-size) chunk preference; ``None``
     #: (default) keeps the engine bit-identical to the untuned code.
@@ -70,6 +77,11 @@ class GpuNcConfig:
             raise ValueError("pipeline_threshold must be non-negative")
         if self.tbuf_chunks < 1:
             raise ValueError("tbuf_chunks must be >= 1")
+        if self.backend not in ("auto", "gpu", "host", "nic"):
+            raise ValueError(
+                f"backend must be one of 'auto', 'gpu', 'host', 'nic'; "
+                f"got {self.backend!r}"
+            )
         if self.pipeline_threshold > self.chunk_bytes:
             # Legal (messages under the threshold go unpipelined as one
             # chunk regardless), but almost always a mistuned config: the

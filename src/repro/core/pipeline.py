@@ -39,11 +39,13 @@ from ..mpi.pack import pack_range_bytes, unpack_range_from
 from ..mpi.request import Request
 from ..mpi.status import MpiError, Status
 from ..sim import Event
+from .backends import BACKENDS
 from .config import GpuNcConfig
-from .gpu_pack import gpu_pack_chunk, gpu_unpack_chunk
+from .gpu_pack import gpu_unpack_chunk
 from .staging import TbufPool
 
 if TYPE_CHECKING:  # pragma: no cover
+    from .backends import TransferBackend
     from ..cuda.runtime import CudaContext
     from ..cuda.stream import Stream
     from ..hw.memory import BufferPtr
@@ -138,22 +140,48 @@ class GpuNcEngine:
         nchunks = max(1, math.ceil(total / chunk)) if total else 1
         return chunk, nchunks
 
-    def _tuned_pref(self, endpoint, dtype, count: int,
-                    total: int) -> Optional[int]:
-        """The tuning table's chunk preference for this transfer, or None.
+    def _transfer_choice(self, endpoint, dtype, count: int, total: int,
+                         pool=None):
+        """The tuning table's ``(backend, chunk)`` choice, or None.
 
         None (no table, or no entry for this layout class) keeps the
-        static ``config.chunk_bytes`` -- the untuned engine, bit-identical
-        to pre-tuning behaviour. A tuned preference is clamped to the
-        staging capacity actually allocated on both sides (tbuf chunk size
-        and the host vbuf size the receiver will check the RTS against).
+        static ``config.chunk_bytes`` and the default backend -- the
+        untuned engine, bit-identical to pre-tuning behaviour. A tuned
+        chunk preference is clamped to the staging capacity actually
+        allocated on *both* sides: tbuf chunk size, this endpoint's vbuf
+        pool, and the peer's vbuf size when the world recorded it
+        (``endpoint.peer_vbuf_bytes``) -- the receiver hard-errors on an
+        RTS chunk that exceeds its pool, so the clamp must see both ends.
         """
         if self.tuning is None:
             return None
-        from ..tune.table import tuned_chunk_pref
+        from ..tune.table import tuned_transfer_choice
 
-        cap = min(self._staging_bytes, endpoint.send_vbufs.buf_bytes)
-        return tuned_chunk_pref(self.tuning, dtype, count, total, cap)
+        pool = pool if pool is not None else endpoint.send_vbufs
+        cap = min(self._staging_bytes, pool.buf_bytes)
+        peer = getattr(endpoint, "peer_vbuf_bytes", None)
+        if peer:
+            cap = min(cap, peer)
+        return tuned_transfer_choice(
+            self.tuning, dtype, count, total, cap,
+            memo=getattr(endpoint, "tune_memo", None),
+        )
+
+    def _backend_for(self, choice) -> "TransferBackend":
+        """Resolve the strided-chunk backend for one transfer.
+
+        An explicit ``config.backend`` always wins (ablations, the
+        conformance sweep). ``"auto"`` follows the offload switch and
+        then the table's per-bucket choice; without either, the GPU-pack
+        pipeline -- the engine's historical single path.
+        """
+        if self.config.backend != "auto":
+            return BACKENDS[self.config.backend]
+        if not self.config.use_gpu_offload:
+            return BACKENDS["host"]
+        if choice is not None and choice.backend in BACKENDS:
+            return BACKENDS[choice.backend]
+        return BACKENDS["gpu"]
 
     # ------------------------------------------------------------------------
     # Sender side
@@ -185,17 +213,30 @@ class GpuNcEngine:
     def _send_proc(self, endpoint, envelope, buf, count, dtype, req):
         env = endpoint.env
         total = envelope.size_bytes
-        chunk, nchunks = self._chunking(
-            total, granted=self._tuned_pref(endpoint, dtype, count, total)
-        )
         plan = LayoutPlan.of(dtype, count)
+        # Contiguous sends deliberately bypass the table (no staging
+        # geometry to tune); counted so tuned runs can see the traffic
+        # the table never saw instead of it looking like lookup misses.
+        choice = None
+        if plan.kind == "strided":
+            choice = self._transfer_choice(endpoint, dtype, count, total)
+        elif self.tuning is not None:
+            PERF.bump("tune_contig_bypass")
+        chunk, nchunks = self._chunking(
+            total, granted=choice.chunk_bytes if choice is not None else None
+        )
+        backend = self._backend_for(choice)
         res = self.resources(endpoint)
         # Compiled replay path: strided offloaded sends walk a cached
         # TransferPlan -- precomputed chunk ranges, slices, labels, costs --
         # and fuse the pack + stage byte movement into one gather into the
-        # vbuf. Identical schedule, half the functional copies.
+        # vbuf. Identical schedule, half the functional copies. Only the
+        # GPU-pack backend replays plans.
         tplan = costs = None
-        if self.config.use_plans and plan.kind == "strided" and self.config.use_gpu_offload:
+        if (
+            self.config.use_plans and plan.kind == "strided"
+            and self.config.use_gpu_offload and backend.wants_plans
+        ):
             tplan = dtype.plan_for(count, chunk, buf.space, "wire")
             costs = tplan.costs_for(endpoint.cuda.cfg)
         ssn = endpoint.new_ssn()
@@ -233,55 +274,17 @@ class GpuNcEngine:
                     stream=res.d2h, label=f"d2h[{i}]",
                 )
             else:
-                tbuf = None
-                if self.config.use_gpu_offload:
-                    tbuf = yield from self._acquire_tbuf(endpoint, res)
-                if tbuf is None:
-                    # No offload (ablation), or the recovery layer degraded
-                    # this chunk to the host-style path when the tbuf pool
-                    # timed out: strided PCIe 2-D copy straight into the
-                    # vbuf ("D2H nc2c", one DMA transaction per row).
-                    vbuf = yield from _proto.acquire_vbuf(
-                        endpoint, endpoint.send_vbufs
-                    )
-                    yield self._strided_pcie_chunk(
-                        endpoint, res.d2h, CopyKind.D2H, buf, dtype, count,
-                        lo, hi, vbuf, i,
-                    )
-                elif tplan is not None:
-                    # Plan replay. The tbuf is still the device-side flow
-                    # control token (same acquire/release points, so the
-                    # schedule is unchanged), but the gather lands straight
-                    # in the vbuf at D2H completion instead of staging
-                    # through device memory twice.
-                    cp = tplan.chunks[i]
-                    yield res.pack.enqueue(
-                        endpoint.cuda.gpu.exec_engine, costs["pack"][i], None,
-                        label=cp.pack_label,
-                    )
-                    vbuf = yield from _proto.acquire_vbuf(
-                        endpoint, endpoint.send_vbufs
-                    )
-                    yield res.d2h.enqueue(
-                        endpoint.cuda.gpu.engine_for(CopyKind.D2H),
-                        costs["d2h"][i],
-                        lambda cp=cp, vbuf=vbuf: cp.gather_into(buf, vbuf.view()),
-                        label=cp.d2h_label,
-                    )
-                    res.tbufs.release(tbuf)
-                else:
-                    # The paper's design: pack on the GPU, contiguous D2H.
-                    yield gpu_pack_chunk(
-                        endpoint.cuda, buf, dtype, count, lo, hi, tbuf, res.pack
-                    )
-                    vbuf = yield from _proto.acquire_vbuf(
-                        endpoint, endpoint.send_vbufs
-                    )
-                    yield endpoint.cuda.memcpy_async(
-                        vbuf.sub(0, n), tbuf.sub(0, n),
-                        stream=res.d2h, label=f"d2h[{i}]",
-                    )
-                    res.tbufs.release(tbuf)
+                # Strided chunk: delegate to the selected transfer
+                # backend (GPU-pack pipeline, strided-PCIe host path, or
+                # NIC offload). ``yield from`` keeps every event the
+                # backend schedules inline in this chunk process, so the
+                # default backend's schedule is bit-identical to the
+                # pre-backend engine.
+                PERF.bump(f"backend_{backend.name}_chunks")
+                vbuf = yield from backend.send_chunk(
+                    self, endpoint, res, buf, dtype, count, lo, hi, i,
+                    tplan, costs,
+                )
             rb = yield from _proto.await_grant(state, i)
             if state.chunk_bytes != chunk:
                 raise MpiError(
@@ -376,6 +379,17 @@ class GpuNcEngine:
             )
         res = self.resources(endpoint)
         plan = LayoutPlan.of(req.datatype, req.count)
+        # The receiver resolves its drain backend locally from its own
+        # datatype and table (the RTS wire format is unchanged); the
+        # chunk size stays whatever the sender dictated. Contiguous
+        # receives never consult the table -- they have no strided drain.
+        choice = None
+        if plan.kind == "strided":
+            choice = self._transfer_choice(
+                endpoint, req.datatype, req.count, total,
+                pool=endpoint.recv_vbufs,
+            )
+        backend = self._backend_for(choice)
         # Compiled replay (mirror of the send side). A posted receive may
         # be larger than the incoming message; plans describe whole
         # datatype instances, so partial-size messages keep the ad-hoc
@@ -383,14 +397,16 @@ class GpuNcEngine:
         rplan = rcosts = None
         if (
             self.config.use_plans and plan.kind == "strided"
-            and self.config.use_gpu_offload
+            and self.config.use_gpu_offload and backend.wants_plans
             and total == req.datatype.size * req.count
         ):
             rplan = req.datatype.plan_for(req.count, chunk, "wire", req.buf.space)
             rcosts = rplan.costs_for(endpoint.cuda.cfg)
         state = _proto.make_recv_state(
             endpoint, posted, rts, chunk, staged=True,
-            on_fin=lambda st, ci: self._drain_chunk(st, ci, plan, res, rplan, rcosts),
+            on_fin=lambda st, ci: self._drain_chunk(
+                st, ci, plan, res, rplan, rcosts, backend
+            ),
         )
         endpoint.env.process(
             _proto.staged_granter(endpoint, state),
@@ -402,7 +418,8 @@ class GpuNcEngine:
         req._complete(state.status)
 
     def _drain_chunk(
-        self, state, i: int, plan: LayoutPlan, res, rplan=None, rcosts=None
+        self, state, i: int, plan: LayoutPlan, res, rplan=None, rcosts=None,
+        backend: "TransferBackend" = None,
     ) -> None:
         """FIN arrived for chunk ``i``: run H2D (+ unpack) and retire it."""
         endpoint = state.endpoint
@@ -419,49 +436,11 @@ class GpuNcEngine:
                 )
                 state.release_staging(i)
             else:
-                tbuf = None
-                if self.config.use_gpu_offload:
-                    tbuf = yield from self._acquire_tbuf(endpoint, res)
-                if tbuf is None:
-                    # No offload, or recovery-layer degradation: scatter
-                    # straight out of the vbuf over PCIe.
-                    yield self._strided_pcie_chunk(
-                        endpoint, res.h2d, CopyKind.H2D, req.buf, req.datatype,
-                        req.count, lo, hi, vbuf, i,
-                    )
-                    state.release_staging(i)
-                elif rplan is not None:
-                    # Plan replay: the scatter into the user buffer is fused
-                    # into the H2D completion -- it must run before
-                    # release_staging recycles the vbuf. The unpack op then
-                    # charges pure device time with no byte movement left to
-                    # do.
-                    cp = rplan.chunks[i]
-                    yield res.h2d.enqueue(
-                        endpoint.cuda.gpu.engine_for(CopyKind.H2D),
-                        rcosts["h2d"][i],
-                        lambda cp=cp, vbuf=vbuf: cp.scatter_from(vbuf.view(), req.buf),
-                        label=cp.h2d_label,
-                    )
-                    state.release_staging(i)
-                    yield res.unpack.enqueue(
-                        endpoint.cuda.gpu.exec_engine, rcosts["pack"][i], None,
-                        label=cp.unpack_label,
-                    )
-                    res.tbufs.release(tbuf)
-                else:
-                    yield endpoint.cuda.memcpy_async(
-                        tbuf.sub(0, n), vbuf.sub(0, n),
-                        stream=res.h2d, label=f"h2d[{i}]",
-                    )
-                    # The vbuf is drained as soon as the H2D completes; the
-                    # unpack then runs entirely inside the device.
-                    state.release_staging(i)
-                    yield gpu_unpack_chunk(
-                        endpoint.cuda, tbuf, req.datatype, req.count, lo, hi,
-                        req.buf, res.unpack,
-                    )
-                    res.tbufs.release(tbuf)
+                drain = backend if backend is not None else self._backend_for(None)
+                PERF.bump(f"backend_{drain.name}_chunks")
+                yield from drain.drain_chunk(
+                    self, state, res, req, lo, hi, i, vbuf, rplan, rcosts
+                )
             state.finish_chunk()
 
         endpoint.env.process(proc(), name=f"gpu-drain{i}:rank{endpoint.rank}")

@@ -214,6 +214,16 @@ class Endpoint:
         #: message-size) chunk preference. None = untuned, bit-identical
         #: to the pre-tuning engine.
         self.tuning: Optional[Any] = None
+        #: Per-endpoint tuning-resolution memo fed to
+        #: :func:`repro.tune.table.tuned_transfer_choice`. Local to this
+        #: endpoint (unlike the table's internal LRU), so the lookup
+        #: counters it produces are invariant under shard partitioning.
+        self.tune_memo: Dict[tuple, Any] = {}
+        #: vbuf size (bytes) of peer endpoints' pools, when the world
+        #: built every rank with the same geometry; None when unknown.
+        #: Tuned chunk preferences are clamped against it -- the receiver
+        #: hard-errors on an RTS chunk exceeding its own pool.
+        self.peer_vbuf_bytes: Optional[int] = None
         #: SSNs whose RTS this endpoint has already processed (armed only;
         #: duplicate-RTS suppression must engage before matching).
         self.rts_seen: set = set()

@@ -720,18 +720,31 @@ def _rdv_send_host(endpoint, envelope, buf, count, datatype, req):
     ssn = endpoint.new_ssn()
     contiguous = datatype.is_contiguous
     chunk_pref = 0 if contiguous else endpoint.send_vbufs.buf_bytes
-    if not contiguous and endpoint.tuning is not None:
-        # Tuned chunk preference for this (layout, size) class; the
-        # receiver clamps to its own vbuf size, so the cap here only has
-        # to cover our side. No table => untouched legacy preference.
-        from ..tune.table import tuned_chunk_pref
+    if endpoint.tuning is not None:
+        if contiguous:
+            # Contiguous sends advertise chunk_pref 0 ("no preference"):
+            # zero-copy out of the user buffer needs no staging geometry,
+            # so the table is deliberately not consulted. Count the
+            # bypass so tuned runs can see how much traffic the table
+            # never saw, instead of it silently looking like misses.
+            PERF.bump("tune_contig_bypass")
+        else:
+            # Tuned chunk preference for this (layout, size) class. The
+            # receiver hard-errors on an RTS chunk exceeding its pool, so
+            # the clamp must cover *both* endpoints: our staging vbufs and
+            # the peer pool size recorded by the world (None when unknown,
+            # e.g. hand-built endpoints => legacy sender-side-only cap).
+            from ..tune.table import tuned_chunk_pref
 
-        tuned = tuned_chunk_pref(
-            endpoint.tuning, datatype, count, total,
-            endpoint.send_vbufs.buf_bytes,
-        )
-        if tuned:
-            chunk_pref = tuned
+            cap = endpoint.send_vbufs.buf_bytes
+            if endpoint.peer_vbuf_bytes:
+                cap = min(cap, endpoint.peer_vbuf_bytes)
+            tuned = tuned_chunk_pref(
+                endpoint.tuning, datatype, count, total, cap,
+                memo=endpoint.tune_memo,
+            )
+            if tuned:
+                chunk_pref = tuned
     state = SendState(endpoint=endpoint, ssn=ssn, dst=envelope.dst)
     endpoint.send_states[ssn] = state
     rts_payload = {

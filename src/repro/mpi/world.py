@@ -138,6 +138,10 @@ class MpiWorld:
             )
             ep.recovery = self.recovery
             ep.tuning = self.tuning
+            # Every rank the world builds gets the same vbuf geometry, so
+            # each endpoint knows its peers' pool size: tuned chunk
+            # preferences are clamped against *both* ends of a transfer.
+            ep.peer_vbuf_bytes = vbuf_bytes
             install_protocol(ep)
             self.endpoints.append(ep)
             rank_to_node[rank] = node.node_id

@@ -24,11 +24,13 @@ __all__ = [
     "shard_file",
     "tune_file",
     "dtype_file",
+    "backend_file",
     "load",
     "record_wallclock",
     "record_shard_wallclock",
     "record_tuned_comparison",
     "record_dtype_comparison",
+    "record_backend_comparison",
     "record_pack_throughput",
     "record_sim_throughput",
     "record_wheel_baseline",
@@ -39,6 +41,7 @@ _PIPELINE_NAME = "BENCH_pipeline.json"
 _SHARD_NAME = "BENCH_shard.json"
 _TUNE_NAME = "BENCH_tune.json"
 _DTYPE_NAME = "BENCH_dtype.json"
+_BACKEND_NAME = "BENCH_backend.json"
 
 
 def _resolve(env_var: str, default_name: str) -> Path:
@@ -105,6 +108,20 @@ def dtype_file() -> Path:
     PR target pinned by CI is >= 1.2x).
     """
     return _resolve("REPRO_BENCH_DTYPE", _DTYPE_NAME)
+
+
+def backend_file() -> Path:
+    """Resolve ``BENCH_backend.json``: ``$REPRO_BENCH_BACKEND`` or root.
+
+    A comparison ledger over *simulated* seconds, written by the
+    ``conformance`` experiment: each entry pins the default-backend
+    latency (``before``) against the tuned-chooser latency (``after``)
+    for one (layout, size-bucket) key, alongside the backend the chooser
+    picked. ``speedup`` >= 1.0 on every entry -- and > 1.0 on at least
+    one -- is the Hunold/Träff gate the ``backend-conformance`` CI job
+    asserts.
+    """
+    return _resolve("REPRO_BENCH_BACKEND", _BACKEND_NAME)
 
 
 def load(path: Optional[Path] = None) -> dict:
@@ -206,6 +223,35 @@ def record_tuned_comparison(
     if entry["after"] > 0:
         entry["speedup"] = round(entry["before"] / entry["after"], 3)
     _save(data, path or tune_file())
+    return entry
+
+
+def record_backend_comparison(
+    name: str,
+    default_seconds: float,
+    tuned_seconds: float,
+    backend: str,
+    chunk_bytes: int,
+    path: Optional[Path] = None,
+) -> dict:
+    """Record one default-vs-tuned-chooser pair in ``BENCH_backend.json``.
+
+    Both numbers come from the same conformance run: ``before`` is the
+    default config (GPU-pack backend, 64 KB chunks), ``after`` the
+    backend + chunk the tuned chooser resolved for the same transfer
+    (recorded alongside). Simulated seconds -- rerunning on a different
+    machine reproduces them exactly.
+    """
+    data = load(path or backend_file())
+    experiments: Dict[str, dict] = data.setdefault("experiments", {})
+    entry = experiments.setdefault(name, {})
+    entry["before"] = round(default_seconds, 9)
+    entry["after"] = round(tuned_seconds, 9)
+    entry["backend"] = backend
+    entry["chunk_bytes"] = chunk_bytes
+    if entry["after"] > 0:
+        entry["speedup"] = round(entry["before"] / entry["after"], 3)
+    _save(data, path or backend_file())
     return entry
 
 

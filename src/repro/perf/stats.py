@@ -112,18 +112,43 @@ off)
 Tuning counters (:mod:`repro.tune`; all zero unless a table is attached)
 --------------------------------------------------------------------------
 ``tune_lookup_hit`` / ``tune_lookup_miss``
-    Rendezvous transfers that resolved a tuned entry for their (layout
-    signature, size bucket) vs. fell back to the static config.
+    Tuned-choice resolutions that found an entry for their (layout
+    signature, size bucket) vs. fell back to the static config. Bumped
+    per resolution *request* (not per table walk), so the counts are a
+    pure function of each endpoint's own traffic -- invariant under
+    shard partitioning.
 ``tune_lru_hit``
-    Lookups served from the table's in-memory resolution LRU (a subset of
-    the hits/misses above -- repeated shapes pay the table scan once).
+    Resolutions served from the calling endpoint's own memo
+    (``endpoint.tune_memo``) without walking the table (a subset of the
+    hits/misses above -- repeated shapes pay the table scan once).
 ``tune_nearest_bucket``
     Resolutions that landed on a neighbouring size bucket of the same
-    layout class rather than an exact bucket entry.
+    layout class rather than an exact bucket entry (bumped per request,
+    memoized requests included).
 ``tune_chunk_clamped``
-    Tuned chunk sizes clamped down to the allocated staging-buffer size.
+    Tuned chunk sizes clamped down to the staging capacity of the two
+    endpoints (bumped per request, memoized requests included).
+``tune_contig_bypass``
+    Contiguous rendezvous sends that deliberately skipped the table (the
+    zero-copy path has no staging geometry to tune); counted so tuned
+    runs can see the traffic the table never saw.
 ``tune_trial``
     Simulated trials evaluated by the offline search engine.
+``tune_trial_rejected``
+    Degenerate (size, candidate) trials the search refused to run (the
+    candidate's pipeline could never engage for that size).
+``tune_backend_guard``
+    Backend candidates excluded by the Hunold/Träff guideline guard (a
+    modeled cost above the default path's tolerance band).
+
+Backend counters (:mod:`repro.core.backends`)
+--------------------------------------------------------------------------
+``backend_gpu_chunks`` / ``backend_host_chunks`` / ``backend_nic_chunks``
+    Strided chunks moved by each transfer backend, counted once per
+    chunk per side (sender staging and receiver drain).
+``nic_descriptors``
+    DMA descriptors the modeled HCA processed for NIC-offloaded chunks
+    (one per strided segment, both sides).
 """
 
 from __future__ import annotations
@@ -274,7 +299,14 @@ class PerfStats:
     #: Counters that appear in the tune footer (order matters for output).
     TUNE_COUNTERS = (
         "tune_lookup_hit", "tune_lookup_miss", "tune_lru_hit",
-        "tune_nearest_bucket", "tune_chunk_clamped", "tune_trial",
+        "tune_nearest_bucket", "tune_chunk_clamped", "tune_contig_bypass",
+        "tune_trial", "tune_trial_rejected", "tune_backend_guard",
+    )
+
+    #: Counters that appear in the backend footer (order matters).
+    BACKEND_COUNTERS = (
+        "backend_gpu_chunks", "backend_host_chunks", "backend_nic_chunks",
+        "nic_descriptors", "tune_backend_guard",
     )
 
     def tune_footer(self, provenance: str = "") -> str:
@@ -293,11 +325,36 @@ class PerfStats:
             f"{c['tune_lru_hit']} lru / {c['tune_nearest_bucket']} nearest",
             f"{c['tune_chunk_clamped']} clamped",
         ]
+        if c["tune_contig_bypass"]:
+            parts.append(f"{c['tune_contig_bypass']} contig bypassed")
         if c["tune_trial"]:
             parts.append(f"{c['tune_trial']} search trials")
+        if c["tune_trial_rejected"]:
+            parts.append(f"{c['tune_trial_rejected']} trials rejected")
         if provenance:
             parts.append(f"table {provenance}")
         return "[tune: " + ", ".join(parts) + "]"
+
+    def backend_footer(self) -> str:
+        """The one-line ``[backend: ...]`` footer.
+
+        Empty unless a non-default transfer backend moved at least one
+        chunk (or the guideline guard vetoed a candidate), so default
+        runs print exactly what they always printed.
+        """
+        c = self.counters
+        if not (c["backend_host_chunks"] or c["backend_nic_chunks"]
+                or c["tune_backend_guard"]):
+            return ""
+        parts = [
+            f"chunks {c['backend_gpu_chunks']} gpu / "
+            f"{c['backend_host_chunks']} host / "
+            f"{c['backend_nic_chunks']} nic",
+            f"{c['nic_descriptors']} nic descriptors",
+        ]
+        if c["tune_backend_guard"]:
+            parts.append(f"{c['tune_backend_guard']} guideline vetoes")
+        return "[backend: " + ", ".join(parts) + "]"
 
     #: Rewrite-pass counters in footer order (name, short label).
     DTIR_PASSES = (

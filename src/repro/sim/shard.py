@@ -1334,9 +1334,14 @@ def _merge(world, cluster, coord: _Coordinator, links, payloads: List[dict],
     cluster.tracer.merge_from(
         _TraceSource(p["intervals"], p["faults"]) for p in payloads
     )
-    for i, p in enumerate(payloads):
-        PERF.merge(p["perf"])
-        PERF.bump(f"shard{i}_events", p["events"])
+    # Fold worker counters deterministically by (shard index, counter
+    # name), never by pipe-arrival or dict-iteration order: the merged
+    # ``[faults:]``/``[tune:]`` footers must be byte-identical for every
+    # shard partitioning of the same run (a regression test pins this).
+    for shard in range(len(payloads)):
+        snap = payloads[shard]["perf"]
+        PERF.merge({name: snap[name] for name in sorted(snap)})
+        PERF.bump(f"shard{shard}_events", payloads[shard]["events"])
     PERF.bump("shard_rounds", coord.rounds)
     PERF.bump("shard_null_grants", coord.null_grants)
     PERF.bump("shard_windows", coord.windows)

@@ -19,6 +19,7 @@ untuned code. ``python -m repro.tune`` drives search/show/apply.
 
 from .signature import LayoutSignature, signature_of_segments, size_bucket
 from .table import (
+    TransferChoice,
     TuningEntry,
     TuningTable,
     TuningTableError,
@@ -26,6 +27,7 @@ from .table import (
     cluster_config_hash,
     table_path,
     tuned_chunk_pref,
+    tuned_transfer_choice,
     tuning_dir,
 )
 
@@ -33,6 +35,7 @@ __all__ = [
     "LayoutSignature",
     "signature_of_segments",
     "size_bucket",
+    "TransferChoice",
     "TuningEntry",
     "TuningTable",
     "TuningTableError",
@@ -40,5 +43,6 @@ __all__ = [
     "cluster_config_hash",
     "table_path",
     "tuned_chunk_pref",
+    "tuned_transfer_choice",
     "tuning_dir",
 ]

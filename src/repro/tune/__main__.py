@@ -49,6 +49,7 @@ def _print_table(table: TuningTable) -> None:
                 if entry.latency else 1.0)
         rows.append([
             sig_key, format_size(int(bucket)),
+            entry.backend,
             format_size(entry.chunk_bytes),
             format_size(entry.pipeline_threshold),
             str(entry.tbuf_chunks),
@@ -57,8 +58,8 @@ def _print_table(table: TuningTable) -> None:
             f"{gain:.2f}x",
         ])
     print(render(
-        ["Layout", "Bucket", "Chunk", "Threshold", "Tbufs", "Plans",
-         "tuned (us)", "default (us)", "gain"],
+        ["Layout", "Bucket", "Backend", "Chunk", "Threshold", "Tbufs",
+         "Plans", "tuned (us)", "default (us)", "gain"],
         rows,
         title=f"Tuning table {table.provenance()} "
         f"({len(table)} entries, workload {table.meta.get('workload', '?')})",
@@ -69,12 +70,13 @@ def _cmd_search(args) -> int:
     from .search import SearchSpace, run_search
 
     space = SearchSpace.smoke() if args.smoke else SearchSpace()
-    if args.chunks:
+    if args.chunks or args.backends:
         space = SearchSpace(
-            chunk_bytes=tuple(args.chunks),
+            chunk_bytes=tuple(args.chunks) if args.chunks else space.chunk_bytes,
             pipeline_threshold=space.pipeline_threshold,
             tbuf_chunks=space.tbuf_chunks,
             use_plans=space.use_plans,
+            backend=tuple(args.backends) if args.backends else space.backend,
         )
     sizes = args.sizes
     if sizes is None and args.scale == "full":
@@ -176,6 +178,9 @@ def main(argv=None) -> int:
                         help="explicit message sizes (overrides --scale)")
     search.add_argument("--chunks", type=int, nargs="+", metavar="BYTES",
                         help="explicit chunk_bytes candidates")
+    search.add_argument("--backends", nargs="+", metavar="NAME",
+                        choices=["gpu", "host", "nic"],
+                        help="transfer-backend candidates (default: gpu only)")
     search.add_argument("--iterations", type=int, default=2,
                         help="full-budget iterations per trial (default 2)")
     search.add_argument("--jobs", type=int, default=1, metavar="N",

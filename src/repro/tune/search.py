@@ -31,6 +31,7 @@ engine is trace-bit-identical by construction).
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
 from itertools import product
@@ -44,7 +45,8 @@ from ..perf.stats import PERF
 from .signature import size_bucket
 from .table import TuningEntry, TuningTable, cluster_config_hash
 
-__all__ = ["Candidate", "SearchSpace", "run_search", "trial_latency"]
+__all__ = ["Candidate", "SearchSpace", "pipeline_engages", "run_search",
+           "trial_latency"]
 
 
 def _fnv(text: str) -> int:
@@ -67,22 +69,41 @@ class Candidate:
     pipeline_threshold: int
     tbuf_chunks: int
     use_plans: bool
+    backend: str = "gpu"
 
     def to_config(self) -> GpuNcConfig:
-        # A threshold above the chunk size is a config smell (GpuNcConfig
-        # warns); candidates clamp it so the sweep stays warning-free.
+        # The threshold is passed through *unclamped*: SearchSpace
+        # normalizes candidates at construction, so a denormalized
+        # candidate (threshold above the chunk size, i.e. a config whose
+        # pipeline never engages for the bucket being tuned) trips the
+        # existing GpuNcConfig validation warning instead of being
+        # silently repaired out of sight of the search.
         return GpuNcConfig(
             chunk_bytes=self.chunk_bytes,
-            pipeline_threshold=min(self.pipeline_threshold, self.chunk_bytes),
+            pipeline_threshold=self.pipeline_threshold,
             tbuf_chunks=self.tbuf_chunks,
             use_plans=self.use_plans,
+            backend=self.backend,
         )
 
     @classmethod
     def default(cls) -> "Candidate":
         cfg = GpuNcConfig()
-        return cls(cfg.chunk_bytes, cfg.pipeline_threshold, cfg.tbuf_chunks,
-                   cfg.use_plans)
+        return cls(cfg.chunk_bytes,
+                   min(cfg.pipeline_threshold, cfg.chunk_bytes),
+                   cfg.tbuf_chunks, cfg.use_plans, "gpu")
+
+
+def pipeline_engages(size: int, cand: Candidate) -> bool:
+    """Whether ``cand`` is self-consistent for a ``size``-byte message.
+
+    A candidate is degenerate for the bucket being tuned when the size is
+    *above* its no-pipeline threshold (so the config claims to pipeline)
+    yet its chunk covers the whole message (so the pipeline never
+    actually engages). Such trials measure a config that cannot mean what
+    its knobs say; ``run_search`` rejects them (``tune_trial_rejected``).
+    """
+    return size <= cand.pipeline_threshold or cand.chunk_bytes < size
 
 
 @dataclass(frozen=True)
@@ -95,6 +116,7 @@ class SearchSpace:
     pipeline_threshold: Tuple[int, ...] = (64 * KiB,)
     tbuf_chunks: Tuple[int, ...] = (32, 64)
     use_plans: Tuple[bool, ...] = (True, False)
+    backend: Tuple[str, ...] = ("gpu",)
 
     @classmethod
     def smoke(cls) -> "SearchSpace":
@@ -103,12 +125,18 @@ class SearchSpace:
                    use_plans=(True,))
 
     def candidates(self) -> List[Candidate]:
-        """The sorted grid, with the default config force-included."""
+        """The sorted, normalized grid with the default force-included.
+
+        Normalization clamps each candidate's threshold to its chunk size
+        (set-dedup collapses the collisions), so the grid never carries a
+        config whose pipeline cannot engage above its own threshold --
+        the degenerate shape ``pipeline_engages`` rejects per size.
+        """
         grid = {
-            Candidate(c, p, t, u)
-            for c, p, t, u in product(
+            Candidate(c, min(p, c), t, u, b)
+            for c, p, t, u, b in product(
                 self.chunk_bytes, self.pipeline_threshold,
-                self.tbuf_chunks, self.use_plans,
+                self.tbuf_chunks, self.use_plans, self.backend,
             )
         }
         grid.add(Candidate.default())
@@ -129,6 +157,7 @@ def _rank(cand: Candidate, latency: float,
         abs(_l2(cand.tbuf_chunks) - _l2(default.tbuf_chunks)),
         abs(_l2(cand.pipeline_threshold) - _l2(default.pipeline_threshold)),
         cand.use_plans is not default.use_plans,
+        cand.backend != default.backend,
         cand,
     )
 
@@ -156,9 +185,10 @@ def trial_latency(message_bytes: int, candidate: Candidate,
 
 def _trial_spec_worker(spec: tuple) -> float:
     """Top-level pool target (must be picklable by spec)."""
-    message_bytes, candidate, cfg, iterations, verify, shards = spec
+    message_bytes, candidate, cfg, iterations, verify, shards, elem = spec
     return trial_latency(message_bytes, candidate, cfg=cfg,
-                         iterations=iterations, verify=verify, shards=shards)
+                         iterations=iterations, verify=verify, shards=shards,
+                         elem_bytes=elem)
 
 
 def _run_trials(specs: Sequence[tuple], jobs: Optional[int]) -> List[float]:
@@ -202,11 +232,33 @@ def run_search(
     candidates = space.candidates()
     hw = cfg if cfg is not None else HardwareConfig.fermi_qdr()
 
+    # -- reject degenerate (size, candidate) pairs -------------------------
+    # A candidate whose pipeline cannot engage for the size being tuned
+    # (size above its threshold but a single chunk covers the message)
+    # measures a self-contradictory config; it is dropped from that
+    # size's trials. The default always stays so default_latency exists.
+    eligible: Dict[int, List[Candidate]] = {}
+    for size in message_sizes:
+        keep = []
+        for cand in candidates:
+            if cand == default or pipeline_engages(size, cand):
+                keep.append(cand)
+            else:
+                PERF.bump("tune_trial_rejected")
+                warnings.warn(
+                    f"tuning trial rejected: candidate {cand} cannot "
+                    f"pipeline a {size}-byte message (threshold "
+                    f"{cand.pipeline_threshold} < size <= chunk "
+                    f"{cand.chunk_bytes})",
+                    stacklevel=2,
+                )
+        eligible[size] = keep
+
     rung0 = 1
     # -- rung 0: every (size, candidate) at the cheap budget ---------------
     specs = [
-        (size, cand, cfg, rung0, verify, shards)
-        for size in message_sizes for cand in candidates
+        (size, cand, cfg, rung0, verify, shards, elem_bytes)
+        for size in message_sizes for cand in eligible[size]
     ]
     lat0 = _run_trials(specs, jobs)
     by_size: Dict[int, List[Tuple[Candidate, float]]] = {
@@ -228,7 +280,7 @@ def run_search(
     # -- final rung: survivors at the full budget ---------------------------
     if iterations > rung0:
         specs = [
-            (size, cand, cfg, iterations, verify, shards)
+            (size, cand, cfg, iterations, verify, shards, elem_bytes)
             for size in message_sizes for cand in survivors[size]
         ]
         lat1 = _run_trials(specs, jobs)
@@ -266,6 +318,23 @@ def run_search(
         )
         rows = size // elem_bytes
         vec = Datatype.hvector(rows, elem_bytes, 2 * elem_bytes, BYTE).commit()
+        if winner.backend != default.backend:
+            # Hunold/Träff guard: a non-default backend may only win its
+            # bucket while its modeled cost stays within tolerance of the
+            # default path's. Best measured latency per backend feeds the
+            # guard; a vetoed winner falls back to the best allowed one.
+            from ..core.backends import guideline_backend
+
+            measured: Dict[str, float] = {}
+            for cand, latency in outcomes:
+                measured.setdefault(cand.backend, latency)
+            allowed = guideline_backend(
+                hw, vec, 1, winner.chunk_bytes, measured
+            )
+            if winner.backend != allowed:
+                winner, win_latency = next(
+                    cl for cl in outcomes if cl[0].backend == allowed
+                )
         table.set(
             vec.layout_signature(1),
             size_bucket(size),
@@ -277,6 +346,7 @@ def run_search(
                 use_plans=winner.use_plans,
                 latency=win_latency,
                 default_latency=default_latency,
+                backend=winner.backend,
             ),
         )
     return table

@@ -36,10 +36,12 @@ __all__ = [
     "TuningEntry",
     "TuningTable",
     "TuningTableError",
+    "TransferChoice",
     "cluster_config_hash",
     "tuning_dir",
     "table_path",
     "tuned_chunk_pref",
+    "tuned_transfer_choice",
     "active_provenance",
 ]
 
@@ -48,6 +50,11 @@ SCHEMA_VERSION = 1
 
 #: Lookup-resolution LRU capacity per table.
 LOOKUP_LRU_CAP = 128
+
+#: Backend names a table entry may carry (mirrors
+#: ``repro.core.backends.BACKENDS``; kept literal here so loading a table
+#: never imports the engine).
+KNOWN_BACKENDS = ("gpu", "host", "nic")
 
 
 class TuningTableError(ValueError):
@@ -95,6 +102,9 @@ class TuningEntry:
     #: the search workload (provenance; not consulted at runtime).
     latency: float = 0.0
     default_latency: float = 0.0
+    #: Which transfer backend won this bucket ("gpu" is the engine's
+    #: historical path; older tables without the field load as "gpu").
+    backend: str = "gpu"
 
     def __post_init__(self) -> None:
         if self.chunk_bytes <= 0:
@@ -103,6 +113,20 @@ class TuningEntry:
             )
         if self.tbuf_chunks < 1:
             raise TuningTableError("tuned tbuf_chunks must be >= 1")
+        if self.backend not in KNOWN_BACKENDS:
+            raise TuningTableError(
+                f"unknown tuned backend {self.backend!r} "
+                f"(expected one of {KNOWN_BACKENDS})"
+            )
+        if self.pipeline_threshold > self.chunk_bytes:
+            # A threshold above the chunk size means the pipeline never
+            # engages for the bucket this entry was tuned for -- the
+            # search must normalize candidates before persisting them.
+            raise TuningTableError(
+                f"tuned pipeline_threshold {self.pipeline_threshold} exceeds "
+                f"chunk_bytes {self.chunk_bytes}; the pipeline would never "
+                "engage for this bucket"
+            )
 
 
 def _entry_key(sig_key: str, bucket: int) -> str:
@@ -149,7 +173,8 @@ class TuningTable:
         #: search parameters / creation info, persisted verbatim.
         self.meta: dict = dict(meta or {})
         self.source = source
-        self._lru: "OrderedDict[Tuple[str, int], Optional[TuningEntry]]" = (
+        #: (sig key, bucket) -> (entry-or-None, resolved-via-nearest).
+        self._lru: "OrderedDict[Tuple[str, int], Tuple[Optional[TuningEntry], bool]]" = (
             OrderedDict()
         )
         _note_provenance(self.provenance())
@@ -169,29 +194,43 @@ class TuningTable:
         return max(chunks + [floor]) if chunks else floor
 
     # -- lookup -------------------------------------------------------------
-    def lookup(self, sig: LayoutSignature, total_bytes: int) -> Optional[TuningEntry]:
-        """Entry for a transfer of ``total_bytes`` with layout ``sig``.
+    def resolve(
+        self, sig: LayoutSignature, total_bytes: int
+    ) -> Tuple[Optional[TuningEntry], bool]:
+        """``(entry, via_nearest)`` for a ``total_bytes`` transfer of ``sig``.
 
         Exact ``(signature, bucket)`` first; otherwise the nearest bucket
         of the *same* layout signature by log2 distance (ties prefer the
         smaller bucket -- a too-small chunk only costs overhead, a
-        too-large one can exceed staging buffers). Returns None when the
-        layout class has no entry at all. Resolutions (including misses)
-        are cached in the in-memory LRU.
+        too-large one can exceed staging buffers). ``entry`` is None when
+        the layout class has no entry at all. Resolutions (including
+        misses) are cached in the in-memory LRU.
+
+        Deliberately bumps **no** PERF counters: cache mechanics (LRU
+        hits, nearest scans) depend on how many endpoints share one table
+        object in one process, which varies across shard partitions of
+        the same run. Counter accounting lives in
+        :func:`tuned_transfer_choice`, which reports per *resolution
+        request* -- a pure function of each endpoint's own traffic.
         """
         bucket = size_bucket(total_bytes)
         key = (sig.key(), bucket)
         if key in self._lru:
             self._lru.move_to_end(key)
-            PERF.bump("tune_lru_hit")
             return self._lru[key]
         entry = self.entries.get(_entry_key(*key))
+        nearest = False
         if entry is None:
             entry = self._nearest(sig.key(), bucket)
-        self._lru[key] = entry
+            nearest = entry is not None
+        self._lru[key] = (entry, nearest)
         if len(self._lru) > LOOKUP_LRU_CAP:
             self._lru.popitem(last=False)
-        return entry
+        return entry, nearest
+
+    def lookup(self, sig: LayoutSignature, total_bytes: int) -> Optional[TuningEntry]:
+        """Entry for a transfer of ``total_bytes`` (see :meth:`resolve`)."""
+        return self.resolve(sig, total_bytes)[0]
 
     def _nearest(self, sig_key: str, bucket: int) -> Optional[TuningEntry]:
         best = None
@@ -206,8 +245,6 @@ class TuningTable:
             rank = (distance, entry_bucket)
             if best_rank is None or rank < best_rank:
                 best, best_rank = entry, rank
-        if best is not None:
-            PERF.bump("tune_nearest_bucket")
         return best
 
     # -- persistence --------------------------------------------------------
@@ -290,24 +327,68 @@ class TuningTable:
         )
 
 
-def tuned_chunk_pref(table, datatype, count: int, total_bytes: int,
-                     cap: int) -> Optional[int]:
-    """Resolve the tuned chunk preference for one transfer, or None.
+@dataclass(frozen=True)
+class TransferChoice:
+    """A resolved per-transfer decision: which backend, what chunk size."""
+
+    backend: str
+    chunk_bytes: int
+    #: True when the tuned chunk was clamped to the caller's staging cap.
+    clamped: bool = False
+
+
+def tuned_transfer_choice(table, datatype, count: int, total_bytes: int,
+                          cap: int, memo: Optional[dict] = None
+                          ) -> Optional[TransferChoice]:
+    """Resolve the tuned ``(backend, chunk)`` choice for one transfer.
 
     The shared runtime hook of :mod:`repro.mpi.protocol` and
     :mod:`repro.core.pipeline`: signature lookup, hit/miss accounting and
-    clamping to ``cap`` (the staging-buffer size actually allocated --
-    a table tuned with bigger pools must not overflow smaller ones).
-    Returns None on a miss so callers fall back to the static config; with
-    ``table`` None this function is never called (the no-table path stays
-    bit-identical to the pre-tuning engine).
+    clamping to ``cap`` (the staging-buffer size actually allocated on
+    *both* endpoints -- a table tuned with bigger pools must not overflow
+    smaller ones). Returns None on a miss so callers fall back to the
+    static config; with ``table`` None this function is never called (the
+    no-table path stays bit-identical to the pre-tuning engine).
+
+    ``memo`` is the caller's per-endpoint resolution cache (e.g.
+    ``endpoint.tune_memo``): unlike the table-internal LRU it is local to
+    one endpoint, so the ``tune_lru_hit`` counter it feeds is invariant
+    under shard partitioning. Every call bumps the semantic counters
+    (hit/miss, nearest, clamped) whether or not the memo short-circuited
+    the table walk.
     """
-    entry = table.lookup(datatype.layout_signature(count), total_bytes)
-    if entry is None:
+    sig = datatype.layout_signature(count)
+    key = (sig.key(), size_bucket(total_bytes), cap)
+    if memo is not None and key in memo:
+        choice, nearest = memo[key]
+        PERF.bump("tune_lru_hit")
+    else:
+        entry, nearest = table.resolve(sig, total_bytes)
+        if entry is None:
+            choice = None
+        else:
+            chunk = min(entry.chunk_bytes, cap)
+            choice = TransferChoice(
+                backend=entry.backend, chunk_bytes=chunk,
+                clamped=chunk < entry.chunk_bytes,
+            )
+        if memo is not None:
+            memo[key] = (choice, nearest)
+    if choice is None:
         PERF.bump("tune_lookup_miss")
         return None
     PERF.bump("tune_lookup_hit")
-    chunk = min(entry.chunk_bytes, cap)
-    if chunk < entry.chunk_bytes:
+    if nearest:
+        PERF.bump("tune_nearest_bucket")
+    if choice.clamped:
         PERF.bump("tune_chunk_clamped")
-    return chunk
+    return choice
+
+
+def tuned_chunk_pref(table, datatype, count: int, total_bytes: int,
+                     cap: int, memo: Optional[dict] = None) -> Optional[int]:
+    """Chunk-size-only view of :func:`tuned_transfer_choice` (or None)."""
+    choice = tuned_transfer_choice(
+        table, datatype, count, total_bytes, cap, memo=memo
+    )
+    return None if choice is None else choice.chunk_bytes

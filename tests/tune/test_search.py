@@ -13,7 +13,12 @@ from repro.mpi import BYTE, Datatype, MpiWorld
 from repro.mpi.pack import pack_bytes
 from repro.perf.stats import PERF
 from repro.tune import LayoutSignature, TuningEntry, TuningTable, TuningTableError
-from repro.tune.search import Candidate, SearchSpace, run_search
+from repro.tune.search import (
+    Candidate,
+    SearchSpace,
+    pipeline_engages,
+    run_search,
+)
 
 SIG = LayoutSignature("uniform", width=4, pitch=8)
 SMOKE = SearchSpace.smoke()
@@ -155,6 +160,76 @@ class TestRuntimeIntegration:
         monkeypatch.setenv("REPRO_TUNING_DIR", str(tmp_path))
         with pytest.raises(TuningTableError, match="cannot read"):
             MpiWorld(Cluster(2), tuning=True)
+
+
+class TestDegenerateTrials:
+    """Threshold/chunk coupling: degenerate candidates are normalized at
+    grid construction and rejected (loudly) per size, never silently
+    measured as configs that cannot mean what their knobs say."""
+
+    def test_candidates_normalize_threshold(self):
+        space = SearchSpace(chunk_bytes=(8 * KiB, 64 * KiB),
+                            pipeline_threshold=(256 * KiB,),
+                            tbuf_chunks=(64,), use_plans=(True,))
+        for cand in space.candidates():
+            assert cand.pipeline_threshold <= cand.chunk_bytes
+
+    def test_pipeline_engages(self):
+        cand = Candidate(64 * KiB, 16 * KiB, 64, True)
+        assert pipeline_engages(8 * KiB, cand)      # under the floor
+        assert pipeline_engages(256 * KiB, cand)    # multiple chunks
+        assert not pipeline_engages(32 * KiB, cand)  # one chunk, no floor
+
+    def test_degenerate_trials_rejected(self):
+        # A 128 KiB message against a 256 KiB chunk with a 64 KiB floor:
+        # the config claims to pipeline but never can. The trial is
+        # dropped with a warning and the rejection counter fires; the
+        # default still produces the bucket's entry.
+        space = SearchSpace(chunk_bytes=(256 * KiB,), tbuf_chunks=(64,),
+                            use_plans=(True,))
+        before = PERF.snapshot().get("tune_trial_rejected", 0)
+        with pytest.warns(UserWarning, match="tuning trial rejected"):
+            table = run_search(message_sizes=[128 * KiB], space=space,
+                               iterations=1)
+        assert PERF.snapshot().get("tune_trial_rejected", 0) > before
+        (entry,) = table.entries.values()
+        assert entry.chunk_bytes == 64 * KiB  # the default survived
+
+    def test_entry_rejects_inverted_threshold(self):
+        with pytest.raises(TuningTableError, match="pipeline_threshold"):
+            TuningEntry(chunk_bytes=16 * KiB, pipeline_threshold=64 * KiB,
+                        tbuf_chunks=64, use_plans=True)
+
+    def test_denormalized_config_warns(self):
+        # Candidate.to_config passes the threshold through unclamped, so
+        # a hand-built degenerate candidate trips the GpuNcConfig
+        # validation warning instead of being silently repaired.
+        with pytest.warns(UserWarning, match="pipeline_threshold"):
+            Candidate(16 * KiB, 64 * KiB, 64, True).to_config()
+
+
+class TestBackendAxis:
+    SPACE = SearchSpace(chunk_bytes=(64 * KiB,), tbuf_chunks=(64,),
+                        use_plans=(True,),
+                        backend=("gpu", "host", "nic"))
+
+    def test_wide_workload_picks_nic(self):
+        # 4 KiB segments: per-segment descriptor cost is tiny next to the
+        # GPU pack stage, so the NIC offload wins the bucket and the
+        # guideline guard lets the (genuinely modeled-cheaper) pick stand.
+        table = run_search(message_sizes=[64 * KiB], space=self.SPACE,
+                           iterations=2, elem_bytes=4 * KiB)
+        (entry,) = table.entries.values()
+        assert entry.backend == "nic"
+        assert entry.latency < entry.default_latency
+
+    def test_fine_workload_keeps_gpu(self):
+        # 4-byte segments: host/nic per-segment costs explode; the
+        # default GPU pipeline keeps every bucket.
+        table = run_search(message_sizes=[64 * KiB], space=self.SPACE,
+                           iterations=2)
+        (entry,) = table.entries.values()
+        assert entry.backend == "gpu"
 
 
 def run_vector_transfer(message, tuning=None):
