@@ -18,9 +18,11 @@ transpose proceeds in two steps:
 2. **local transpose kernel**: each received ``(nr, nr)`` block is
    transposed in place on the GPU.
 
-Two variants: ``"mv2nc"`` sends the subarray datatypes directly;
-``"staged"`` packs each block through host staging with blocking
-``cudaMemcpy2D`` (the pre-datatype workflow).
+Two variants: ``"mv2nc"`` hands the subarray datatypes to the
+datatype-aware ``Alltoallv`` collective (each peer block is one tuned
+pipeline flow, scheduled in one overlapped round); ``"staged"`` packs
+each block through host staging with blocking ``cudaMemcpy2D`` (the
+pre-datatype workflow).
 """
 
 from __future__ import annotations
@@ -31,7 +33,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..hw import Cluster, HardwareConfig
-from ..mpi import Datatype, MpiWorld, wait_all
+from ..mpi import Datatype, MpiWorld
 
 __all__ = ["TransposeConfig", "TransposeResult", "run_transpose"]
 
@@ -96,14 +98,12 @@ def _transpose_program(ctx, cfg: TransposeConfig, global_a: Optional[np.ndarray]
     yield from ctx.comm.Barrier()
     t0 = ctx.now
     if cfg.variant == "mv2nc":
-        reqs = []
-        for peer in range(size):
-            reqs.append(ctx.comm.Irecv(b_buf, 1, block_type(peer),
-                                       source=peer, tag=500))
-        for peer in range(size):
-            reqs.append(ctx.comm.Isend(a_buf, 1, block_type(peer),
-                                       dest=peer, tag=500))
-        yield from wait_all(reqs)
+        # Column block j of a_buf goes to rank j; block i of b_buf comes
+        # from rank i -- the same per-peer subarray types on both sides.
+        blocks = [block_type(j) for j in range(size)]
+        ones, zeros = [1] * size, [0] * size
+        yield from ctx.comm.Alltoallv(a_buf, ones, zeros, blocks,
+                                      b_buf, ones, zeros, blocks)
     else:
         # Pre-datatype workflow: blocking cudaMemcpy2D packs each block to
         # the host, contiguous sends, then blocking unpack on arrival.

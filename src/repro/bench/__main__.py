@@ -24,6 +24,7 @@ from .experiments import EXPERIMENTS
 from .parallel import run_many
 from .report import (
     backend_stats_footer,
+    coll_stats_footer,
     dtype_stats_footer,
     fault_stats_footer,
     perf_stats_footer,
@@ -113,6 +114,9 @@ def main(argv=None) -> int:
     backend = backend_stats_footer()
     if backend:
         print(backend)
+    coll = coll_stats_footer()
+    if coll:
+        print(coll)
     return 0
 
 

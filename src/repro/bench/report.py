@@ -18,6 +18,7 @@ __all__ = [
     "tune_stats_footer",
     "dtype_stats_footer",
     "backend_stats_footer",
+    "coll_stats_footer",
 ]
 
 
@@ -121,6 +122,24 @@ def backend_stats_footer(snapshot: Optional[Dict[str, int]] = None) -> str:
     stats = PerfStats()
     stats.merge(snapshot)
     return stats.backend_footer()
+
+
+def coll_stats_footer(snapshot: Optional[Dict[str, int]] = None) -> str:
+    """One-line ``[coll: ...]`` summary; empty when no datatype-aware
+    collective ran.
+
+    Reports how the v-variants decomposed -- calls, spawned peer-messages,
+    schedule rounds, small/large schedule split and collective-context
+    tuned hits. Runs that never call ``Alltoallv``/``Allgatherv``/
+    ``Neighbor_alltoallv`` print nothing.
+    """
+    if snapshot is None:
+        return PERF.coll_footer()
+    from ..perf.stats import PerfStats
+
+    stats = PerfStats()
+    stats.merge(snapshot)
+    return stats.coll_footer()
 
 
 def format_size(nbytes: int) -> str:

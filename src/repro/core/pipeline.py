@@ -141,7 +141,7 @@ class GpuNcEngine:
         return chunk, nchunks
 
     def _transfer_choice(self, endpoint, dtype, count: int, total: int,
-                         pool=None):
+                         pool=None, ctx=None):
         """The tuning table's ``(backend, chunk)`` choice, or None.
 
         None (no table, or no entry for this layout class) keeps the
@@ -152,6 +152,7 @@ class GpuNcEngine:
         pool, and the peer's vbuf size when the world recorded it
         (``endpoint.peer_vbuf_bytes``) -- the receiver hard-errors on an
         RTS chunk that exceeds its pool, so the clamp must see both ends.
+        ``ctx`` is the request's collective context (None for p2p).
         """
         if self.tuning is None:
             return None
@@ -164,7 +165,7 @@ class GpuNcEngine:
             cap = min(cap, peer)
         return tuned_transfer_choice(
             self.tuning, dtype, count, total, cap,
-            memo=getattr(endpoint, "tune_memo", None),
+            memo=getattr(endpoint, "tune_memo", None), ctx=ctx,
         )
 
     def _backend_for(self, choice) -> "TransferBackend":
@@ -219,7 +220,10 @@ class GpuNcEngine:
         # the table never saw instead of it looking like lookup misses.
         choice = None
         if plan.kind == "strided":
-            choice = self._transfer_choice(endpoint, dtype, count, total)
+            choice = self._transfer_choice(
+                endpoint, dtype, count, total,
+                ctx=getattr(req, "coll_ctx", None),
+            )
         elif self.tuning is not None:
             PERF.bump("tune_contig_bypass")
         chunk, nchunks = self._chunking(
@@ -387,7 +391,7 @@ class GpuNcEngine:
         if plan.kind == "strided":
             choice = self._transfer_choice(
                 endpoint, req.datatype, req.count, total,
-                pool=endpoint.recv_vbufs,
+                pool=endpoint.recv_vbufs, ctx=getattr(req, "coll_ctx", None),
             )
         backend = self._backend_for(choice)
         # Compiled replay (mirror of the send side). A posted receive may

@@ -5,21 +5,46 @@ allgather) implemented over ``Isend``/``Irecv``, so collectives on device
 buffers automatically ride the GPU-aware path. Reductions need host-side
 arithmetic and therefore require host buffers (MVAPICH2 of this era staged
 device reductions through the host as well).
+
+The **v-variants** (:func:`alltoallv`, :func:`allgatherv`,
+:func:`neighbor_alltoallv`) are the datatype-aware tier: per-peer counts,
+byte displacements and (optionally per-peer) derived datatypes, decomposed
+into point-to-point rendezvous flows so each peer-message independently
+rides the pipelined transfer engine -- GPU pack offload, backend choice and
+tuned chunking included. Every peer-message carries the collective's
+fan-out context (:func:`repro.tune.signature.coll_context`), so a tuning
+table can hold collective-specific ``{backend, chunk}`` entries that win
+over the point-to-point picks under fan-out pressure. Two schedules:
+
+* **small** (every peer block fits the eager threshold): all receives and
+  sends posted non-blocking in Bruck distance order, one wait -- full
+  overlap, one schedule round.
+* **large**: receives posted up front, sends issued to scattered
+  destinations (``rank + step``) with a bounded in-flight window, so p
+  concurrent flows never aim at one hotspot and sender staging pressure
+  stays bounded; ``size - 1`` schedule rounds.
+
+The equal-block collectives (:func:`gather`, :func:`scatter`,
+:func:`alltoall`, :func:`allgather`) accept any *single-run-per-element*
+datatype (contiguous or extent-carrying, e.g. resized); genuinely strided
+element layouts raise and point at the v-variants.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..hw.memory import BufferPtr
+from ..perf.stats import PERF
 from .datatype import Datatype
+from .pack import pack_bytes, unpack_array_into
 from .request import wait_all
-from .status import MpiError
+from .status import PROC_NULL, MpiError
 
 if TYPE_CHECKING:  # pragma: no cover
-    from .comm import Comm
+    from .comm import CartComm, Comm
 
 __all__ = [
     "barrier",
@@ -27,10 +52,13 @@ __all__ = [
     "reduce",
     "allreduce",
     "allgather",
+    "allgatherv",
     "allgather_obj",
     "gather",
     "scatter",
     "alltoall",
+    "alltoallv",
+    "neighbor_alltoallv",
     "REDUCE_OPS",
 ]
 
@@ -42,6 +70,12 @@ _TAG_ALLGATHER = 1_000_004
 _TAG_GATHER = 1_000_005
 _TAG_SCATTER = 1_000_006
 _TAG_ALLTOALL = 1_000_007
+_TAG_ALLTOALLV = 1_000_008
+_TAG_ALLGATHERV = 1_000_009
+_TAG_NEIGHBOR = 1_000_010
+
+#: In-flight send window of the large-message alltoallv schedule.
+_LARGE_SEND_WINDOW = 2
 
 REDUCE_OPS: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
     "sum": lambda a, b: a + b,
@@ -102,15 +136,59 @@ def bcast(comm: "Comm", buf: BufferPtr, count: int, datatype: Datatype, root: in
         mask >>= 1
 
 
-def _np_view(buf: BufferPtr, count: int, datatype: Datatype) -> np.ndarray:
+def _single_run_element(datatype: Datatype) -> bool:
+    """One byte run per element (contiguous or merely extent-carrying)."""
+    return datatype.segments_for_count(1).count <= 1
+
+
+def _require_single_run(datatype: Datatype, what: str) -> None:
+    """Equal-block collectives handle single-run element layouts only.
+
+    A genuinely strided element (``segments_for_count(1).count > 1``) has
+    no equal-block tiling these linear algorithms can slice; the
+    v-variants route such layouts through the transfer pipeline instead
+    of this function silently mis-slicing them.
+    """
+    if not _single_run_element(datatype):
+        raise MpiError(
+            f"{what} does not support the non-contiguous datatype "
+            f"{datatype.name!r}; use alltoallv/allgatherv, which route "
+            "derived datatypes through the transfer pipeline"
+        )
+
+
+def _block_geometry(datatype: Datatype, count: int) -> tuple:
+    """``(block stride, block span)`` of an equal-block collective.
+
+    Blocks tile at ``extent * count`` (the MPI convention) while each
+    block's bytes span ``extent * (count - 1) + size`` -- for plain
+    contiguous types both collapse to ``size * count``, the historical
+    math; extent-carrying (resized) types get the pack-layer-consistent
+    span instead of an undersized slice.
+    """
+    return datatype.extent * count, datatype.span_for_count(count)
+
+
+def _check_reduce_operand(
+    datatype: Datatype, count: int, buf: Optional[BufferPtr] = None
+) -> None:
+    """Validate a reduction datatype (and optionally a result buffer).
+
+    Reductions need a numeric base and a single byte run per element --
+    contiguous or extent-carrying (resized) types; genuinely strided
+    element layouts have no element-wise host arithmetic here.
+    """
     if datatype.base_np is None:
         raise MpiError(
             f"reduction needs a numeric base type, {datatype.name} is mixed"
         )
-    if not datatype.is_contiguous:
+    if not _single_run_element(datatype):
         raise MpiError("reductions require contiguous datatypes")
-    nbytes = datatype.size * count
-    return buf.sub(0, nbytes).view(datatype.base_np)
+    if buf is not None and buf.nbytes < datatype.span_for_count(count):
+        raise MpiError(
+            f"reduction buffer too small: {buf.nbytes} < "
+            f"{datatype.span_for_count(count)}"
+        )
 
 
 def _stage_in(comm: "Comm", buf: BufferPtr, nbytes: int):
@@ -122,19 +200,27 @@ def _stage_in(comm: "Comm", buf: BufferPtr, nbytes: int):
     """
     if buf.space == "host":
         return buf, False
+        yield  # pragma: no cover - makes this a generator
     staged = comm.endpoint.node.malloc_host(max(nbytes, 1))
     yield from comm.endpoint.cuda.memcpy(staged.sub(0, nbytes), buf.sub(0, nbytes))
     return staged, True
 
 
 def _stage_out(comm: "Comm", host_buf: BufferPtr, dst: BufferPtr, nbytes: int):
-    """Move a reduction result back into a (possibly device) buffer."""
-    if dst.space == "host":
-        if dst is not host_buf:
-            dst.view()[:nbytes] = host_buf.view()[:nbytes]
-        return
-        yield  # pragma: no cover
-    yield from comm.endpoint.cuda.memcpy(dst.sub(0, nbytes), host_buf.sub(0, nbytes))
+    """Move a reduction result back into a (possibly device) buffer.
+
+    Always a generator, on *every* branch: the host->host case used to
+    ``return`` ahead of an unreachable trailing ``yield``, which only
+    worked by the accident of the dead statement keeping the function a
+    generator -- restructured so each branch either yields or returns
+    from an unambiguous generator body.
+    """
+    if dst.space != "host":
+        yield from comm.endpoint.cuda.memcpy(
+            dst.sub(0, nbytes), host_buf.sub(0, nbytes)
+        )
+    elif dst is not host_buf:
+        dst.view()[:nbytes] = host_buf.view()[:nbytes]
 
 
 def _byte_type() -> Datatype:
@@ -156,7 +242,16 @@ def reduce(
     op: str,
     root: int,
 ):
-    """Binomial-tree reduction (commutative ops)."""
+    """Binomial-tree reduction (commutative ops).
+
+    Operands live in host staging as *packed* bytes
+    (``datatype.size * count``); an extent-carrying (resized) element type
+    is packed on entry and unpacked at the root, so buffer math follows
+    the pack layer's ``extent * (count - 1) + size`` span instead of the
+    undersized ``size * count`` the contiguous-only code used. Plain
+    contiguous types take the historical path bit-for-bit (packed bytes
+    == span bytes, typed wire messages).
+    """
     size, rank = comm.size, comm.rank
     if op not in REDUCE_OPS:
         raise MpiError(f"unknown reduction op {op!r}; have {sorted(REDUCE_OPS)}")
@@ -164,15 +259,24 @@ def reduce(
         raise MpiError(f"invalid reduce root {root}")
     if rank == root and recvbuf is None:
         raise MpiError("root must supply a receive buffer")
+    _check_reduce_operand(datatype, count, sendbuf)
     fn = REDUCE_OPS[op]
     nbytes = datatype.size * count
+    span = datatype.span_for_count(count)
+    packed_path = span != nbytes  # extent-carrying element type
+    wire_count, wire_type = (
+        (nbytes, _byte_type()) if packed_path else (count, datatype)
+    )
     node = comm.endpoint.node
     accum = node.malloc_host(max(nbytes, 1))
     tmp = node.malloc_host(max(nbytes, 1))
     cpu_cost = count * 1e-9  # one flop per element at ~1 Gflop/s host rate
-    staged_send, send_owned = yield from _stage_in(comm, sendbuf, nbytes)
+    staged_send, send_owned = yield from _stage_in(comm, sendbuf, span)
     try:
-        accum.view()[:nbytes] = staged_send.view()[:nbytes]
+        if packed_path:
+            accum.view()[:nbytes] = pack_bytes(staged_send, datatype, count)
+        else:
+            accum.view()[:nbytes] = staged_send.view()[:nbytes]
         if send_owned:
             node.free_host(staged_send)
             send_owned = False
@@ -184,7 +288,7 @@ def reduce(
                 if src_rel < size:
                     src = (src_rel + root) % size
                     yield from comm.Recv(
-                        tmp, count, datatype, source=src, tag=_TAG_REDUCE
+                        tmp, wire_count, wire_type, source=src, tag=_TAG_REDUCE
                     )
                     yield from comm.endpoint.cpu_work(cpu_cost, "reduce-op")
                     a = accum.sub(0, nbytes).view(datatype.base_np)
@@ -192,12 +296,35 @@ def reduce(
                     a[:] = fn(a, b)
             else:
                 dst = ((relrank & ~mask) + root) % size
-                yield from comm.Send(accum, count, datatype, dest=dst, tag=_TAG_REDUCE)
+                yield from comm.Send(
+                    accum, wire_count, wire_type, dest=dst, tag=_TAG_REDUCE
+                )
                 break
             mask <<= 1
         if rank == root:
-            _np_view(recvbuf, count, datatype)  # validates recvbuf
-            yield from _stage_out(comm, accum, recvbuf, nbytes)
+            _check_reduce_operand(datatype, count, recvbuf)
+            if not packed_path:
+                yield from _stage_out(comm, accum, recvbuf, nbytes)
+            elif recvbuf.space == "host":
+                unpack_array_into(
+                    accum.view()[:nbytes], datatype, count, recvbuf
+                )
+            else:
+                # Read-modify-write through host staging so the bytes in
+                # the extent holes of the device buffer stay untouched.
+                scratch = node.malloc_host(max(span, 1))
+                try:
+                    yield from comm.endpoint.cuda.memcpy(
+                        scratch.sub(0, span), recvbuf.sub(0, span)
+                    )
+                    unpack_array_into(
+                        accum.view()[:nbytes], datatype, count, scratch
+                    )
+                    yield from comm.endpoint.cuda.memcpy(
+                        recvbuf.sub(0, span), scratch.sub(0, span)
+                    )
+                finally:
+                    node.free_host(scratch)
     finally:
         node.free_host(accum)
         node.free_host(tmp)
@@ -228,21 +355,29 @@ def gather(
     """Gather equal blocks to the root (linear algorithm).
 
     Fine at the 8-node scale of the paper's testbed; a tree gather would
-    only matter at much larger scale.
+    only matter at much larger scale. Blocks tile at ``extent * count``
+    and each spans ``extent * (count - 1) + size`` bytes, so
+    extent-carrying (resized) types land correctly; strided element
+    types raise (see :func:`_require_single_run`).
     """
     size, rank = comm.size, comm.rank
-    nbytes = datatype.size * count
+    _require_single_run(datatype, "gather")
+    blk, span = _block_geometry(datatype, count)
     if rank == root:
         if recvbuf is None:
             raise MpiError("gather root must supply a receive buffer")
-        if recvbuf.nbytes < nbytes * size:
+        needed = blk * (size - 1) + span if count else 0
+        if recvbuf.nbytes < needed:
             raise MpiError(
                 f"gather receive buffer too small: {recvbuf.nbytes} < "
-                f"{nbytes * size}"
+                f"{needed}"
             )
-        recvbuf.sub(rank * nbytes, nbytes).view()[:] = sendbuf.view()[:nbytes]
+        unpack_array_into(
+            pack_bytes(sendbuf, datatype, count), datatype, count,
+            recvbuf.sub(rank * blk, span),
+        )
         reqs = [
-            comm.Irecv(recvbuf.sub(src * nbytes, nbytes), count, datatype,
+            comm.Irecv(recvbuf.sub(src * blk, span), count, datatype,
                        source=src, tag=_TAG_GATHER)
             for src in range(size) if src != rank
         ]
@@ -262,18 +397,23 @@ def scatter(
 ):
     """Scatter equal blocks from the root (linear algorithm)."""
     size, rank = comm.size, comm.rank
-    nbytes = datatype.size * count
+    _require_single_run(datatype, "scatter")
+    blk, span = _block_geometry(datatype, count)
     if rank == root:
         if sendbuf is None:
             raise MpiError("scatter root must supply a send buffer")
-        if sendbuf.nbytes < nbytes * size:
+        needed = blk * (size - 1) + span if count else 0
+        if sendbuf.nbytes < needed:
             raise MpiError(
                 f"scatter send buffer too small: {sendbuf.nbytes} < "
-                f"{nbytes * size}"
+                f"{needed}"
             )
-        recvbuf.view()[:nbytes] = sendbuf.sub(rank * nbytes, nbytes).view()
+        unpack_array_into(
+            pack_bytes(sendbuf.sub(rank * blk, span), datatype, count),
+            datatype, count, recvbuf,
+        )
         reqs = [
-            comm.Isend(sendbuf.sub(dst * nbytes, nbytes), count, datatype,
+            comm.Isend(sendbuf.sub(dst * blk, span), count, datatype,
                        dest=dst, tag=_TAG_SCATTER)
             for dst in range(size) if dst != rank
         ]
@@ -292,22 +432,25 @@ def alltoall(
 ):
     """Personalized all-to-all: p-1 rounds of pairwise Sendrecv."""
     size, rank = comm.size, comm.rank
-    nbytes = datatype.size * count
+    _require_single_run(datatype, "alltoall")
+    blk, span = _block_geometry(datatype, count)
+    needed = blk * (size - 1) + span if count else 0
     for buf, name in ((sendbuf, "send"), (recvbuf, "recv")):
-        if buf.nbytes < nbytes * size:
+        if buf.nbytes < needed:
             raise MpiError(
                 f"alltoall {name} buffer too small: {buf.nbytes} < "
-                f"{nbytes * size}"
+                f"{needed}"
             )
-    recvbuf.sub(rank * nbytes, nbytes).view()[:] = (
-        sendbuf.sub(rank * nbytes, nbytes).view()
+    unpack_array_into(
+        pack_bytes(sendbuf.sub(rank * blk, span), datatype, count),
+        datatype, count, recvbuf.sub(rank * blk, span),
     )
     for step in range(1, size):
         dst = (rank + step) % size
         src = (rank - step) % size
         yield from comm.Sendrecv(
-            sendbuf.sub(dst * nbytes, nbytes), count, datatype, dst,
-            recvbuf.sub(src * nbytes, nbytes), count, datatype, src,
+            sendbuf.sub(dst * blk, span), count, datatype, dst,
+            recvbuf.sub(src * blk, span), count, datatype, src,
             sendtag=_TAG_ALLTOALL, recvtag=_TAG_ALLTOALL,
         )
 
@@ -344,13 +487,18 @@ def allgather(
 ):
     """Ring allgather: p-1 steps, each forwarding the previous block."""
     size, rank = comm.size, comm.rank
-    nbytes = datatype.size * count
-    if recvbuf.nbytes < nbytes * size:
+    _require_single_run(datatype, "allgather")
+    blk, span = _block_geometry(datatype, count)
+    needed = blk * (size - 1) + span if count else 0
+    if recvbuf.nbytes < needed:
         raise MpiError(
-            f"allgather receive buffer too small: {recvbuf.nbytes} < {nbytes * size}"
+            f"allgather receive buffer too small: {recvbuf.nbytes} < {needed}"
         )
     # Own contribution in place.
-    recvbuf.sub(rank * nbytes, nbytes).view()[:] = sendbuf.view()[:nbytes]
+    unpack_array_into(
+        pack_bytes(sendbuf, datatype, count), datatype, count,
+        recvbuf.sub(rank * blk, span),
+    )
     if size == 1:
         return
     right = (rank + 1) % size
@@ -359,7 +507,287 @@ def allgather(
         send_block = (rank - step) % size
         recv_block = (rank - step - 1) % size
         yield from comm.Sendrecv(
-            recvbuf.sub(send_block * nbytes, nbytes), count, datatype, right,
-            recvbuf.sub(recv_block * nbytes, nbytes), count, datatype, left,
+            recvbuf.sub(send_block * blk, span), count, datatype, right,
+            recvbuf.sub(recv_block * blk, span), count, datatype, left,
             sendtag=_TAG_ALLGATHER, recvtag=_TAG_ALLGATHER,
         )
+
+
+# ---------------------------------------------------------------------------
+# Datatype-aware v-variants: per-peer counts/displacements/types, routed
+# through the point-to-point pipeline with a collective tuning context.
+# ---------------------------------------------------------------------------
+
+PeerTypes = Union[Datatype, Sequence[Datatype]]
+
+
+def _coll_context(npeers: int) -> str:
+    from ..tune.signature import coll_context
+
+    return coll_context(npeers)
+
+
+def _per_peer_types(types: PeerTypes, n: int, what: str) -> List[Datatype]:
+    """Normalize a scalar-or-sequence datatype argument to one per peer."""
+    if isinstance(types, Datatype):
+        return [types] * n
+    out = list(types)
+    if len(out) != n:
+        raise MpiError(
+            f"{what}: expected {n} per-peer datatypes, got {len(out)}"
+        )
+    return out
+
+
+def _check_vargs(what: str, n: int, counts, displs, types, buf) -> None:
+    """Validate one side (send or recv) of a v-variant call."""
+    if len(counts) != n or len(displs) != n:
+        raise MpiError(
+            f"{what}: counts/displs must have {n} entries, got "
+            f"{len(counts)}/{len(displs)}"
+        )
+    for peer, (cnt, displ, dtype) in enumerate(zip(counts, displs, types)):
+        if cnt < 0:
+            raise MpiError(f"{what}: negative count for peer {peer}")
+        if displ < 0:
+            raise MpiError(f"{what}: negative displacement for peer {peer}")
+        span = dtype.span_for_count(cnt)
+        if displ + span > buf.nbytes:
+            raise MpiError(
+                f"{what}: peer {peer} block [{displ}, {displ + span}) "
+                f"exceeds the {buf.nbytes}-byte buffer"
+            )
+
+
+def _block(buf: BufferPtr, displ: int, dtype: Datatype, cnt: int) -> BufferPtr:
+    """The sub-buffer one peer's block occupies (byte displacement)."""
+    return buf.sub(displ, dtype.span_for_count(cnt))
+
+
+def alltoallv(
+    comm: "Comm",
+    sendbuf: BufferPtr,
+    sendcounts: Sequence[int],
+    sdispls: Sequence[int],
+    sendtypes: PeerTypes,
+    recvbuf: BufferPtr,
+    recvcounts: Sequence[int],
+    rdispls: Sequence[int],
+    recvtypes: PeerTypes,
+):
+    """Datatype-aware personalized all-to-all (``MPI_Alltoallv``/``w``).
+
+    Per-peer counts, **byte** displacements and (scalar or per-peer)
+    derived datatypes -- the ``MPI_Alltoallw`` convention, which the
+    byte-displacement form of ``alltoallv`` degenerates to. Every
+    peer-message is an independent point-to-point flow through the
+    rendezvous pipeline: device blocks get GPU pack offload, per-message
+    backend choice and tuned chunking, with the collective's fan-out
+    context letting the table prefer collective-specific entries.
+
+    Schedule: when every peer block fits the eager threshold, all
+    receives and sends post non-blocking in Bruck distance order (one
+    round, full overlap). Otherwise receives still post up front, but
+    sends walk scattered destinations (``rank + step``) with a bounded
+    in-flight window so sender staging pressure stays bounded and no
+    destination becomes a hotspot.
+    """
+    size, rank = comm.size, comm.rank
+    stypes = _per_peer_types(sendtypes, size, "alltoallv")
+    rtypes = _per_peer_types(recvtypes, size, "alltoallv")
+    _check_vargs("alltoallv send", size, sendcounts, sdispls, stypes, sendbuf)
+    _check_vargs("alltoallv recv", size, recvcounts, rdispls, rtypes, recvbuf)
+    ctx = _coll_context(size)
+    send_bytes = [stypes[i].size * sendcounts[i] for i in range(size)]
+    recv_bytes = [rtypes[i].size * recvcounts[i] for i in range(size)]
+    small = (
+        max(max(send_bytes), max(recv_bytes))
+        <= comm.endpoint.cfg.eager_threshold
+    )
+    PERF.bump("coll_calls")
+    PERF.bump("coll_messages", size)
+    PERF.bump("coll_bytes", sum(send_bytes))
+    PERF.bump("coll_small_sched" if small else "coll_large_sched")
+    # Receives always post up front: landing zones are disjoint and
+    # source-matched, so posting order cannot misdeliver.
+    rreqs = [
+        comm.Irecv(
+            _block(recvbuf, rdispls[src], rtypes[src], recvcounts[src]),
+            recvcounts[src], rtypes[src], source=src, tag=_TAG_ALLTOALLV,
+            coll_ctx=ctx,
+        )
+        for step in range(size)
+        for src in [(rank - step) % size]
+    ]
+    if small:
+        PERF.bump("coll_rounds")
+        sreqs = [
+            comm.Isend(
+                _block(sendbuf, sdispls[dst], stypes[dst], sendcounts[dst]),
+                sendcounts[dst], stypes[dst], dest=dst, tag=_TAG_ALLTOALLV,
+                coll_ctx=ctx,
+            )
+            for step in range(size)
+            for dst in [(rank + step) % size]
+        ]
+        yield from wait_all(sreqs + rreqs)
+    else:
+        PERF.bump("coll_rounds", max(size - 1, 1))
+        window: List = []
+        for step in range(size):
+            dst = (rank + step) % size
+            window.append(
+                comm.Isend(
+                    _block(sendbuf, sdispls[dst], stypes[dst], sendcounts[dst]),
+                    sendcounts[dst], stypes[dst], dest=dst,
+                    tag=_TAG_ALLTOALLV, coll_ctx=ctx,
+                )
+            )
+            if len(window) > _LARGE_SEND_WINDOW:
+                yield from wait_all([window.pop(0)])
+        yield from wait_all(window + rreqs)
+
+
+def allgatherv(
+    comm: "Comm",
+    sendbuf: BufferPtr,
+    sendcount: int,
+    sendtype: Datatype,
+    recvbuf: BufferPtr,
+    recvcounts: Sequence[int],
+    rdispls: Sequence[int],
+    recvtypes: PeerTypes,
+):
+    """Datatype-aware allgather with per-rank blocks (``MPI_Allgatherv``).
+
+    ``recvcounts``/``rdispls``/``recvtypes`` must be identical on every
+    rank (the standard's requirement) -- the schedule choice derives from
+    them, so it is globally consistent by construction. Small blocks go
+    direct (every rank non-blocking-sends its contribution to all peers,
+    one round); large blocks ride the bandwidth-optimal ring,
+    store-and-forwarding *typed* blocks out of ``recvbuf`` so each hop
+    re-packs through the pipeline.
+    """
+    size, rank = comm.size, comm.rank
+    rtypes = _per_peer_types(recvtypes, size, "allgatherv")
+    _check_vargs("allgatherv recv", size, recvcounts, rdispls, rtypes, recvbuf)
+    if sendcount < 0:
+        raise MpiError("allgatherv: negative send count")
+    own_bytes = sendtype.size * sendcount
+    if own_bytes != rtypes[rank].size * recvcounts[rank]:
+        raise MpiError(
+            f"allgatherv: rank {rank} sends {own_bytes} bytes but its "
+            f"receive slot holds {rtypes[rank].size * recvcounts[rank]}"
+        )
+    ctx = _coll_context(size)
+    block_bytes = [rtypes[i].size * recvcounts[i] for i in range(size)]
+    small = max(block_bytes) <= comm.endpoint.cfg.eager_threshold
+    PERF.bump("coll_calls")
+    PERF.bump("coll_messages", size - 1 if size > 1 else 0)
+    PERF.bump("coll_bytes", own_bytes * max(size - 1, 0))
+    PERF.bump("coll_small_sched" if small else "coll_large_sched")
+    # Own contribution lands locally (packed-byte fidelity across the
+    # send/recv type pair).
+    unpack_array_into(
+        pack_bytes(sendbuf, sendtype, sendcount), rtypes[rank],
+        recvcounts[rank],
+        _block(recvbuf, rdispls[rank], rtypes[rank], recvcounts[rank]),
+    )
+    if size == 1:
+        return
+    if small:
+        PERF.bump("coll_rounds")
+        reqs = []
+        for step in range(1, size):
+            src = (rank - step) % size
+            dst = (rank + step) % size
+            reqs.append(comm.Irecv(
+                _block(recvbuf, rdispls[src], rtypes[src], recvcounts[src]),
+                recvcounts[src], rtypes[src], source=src,
+                tag=_TAG_ALLGATHERV, coll_ctx=ctx,
+            ))
+            reqs.append(comm.Isend(
+                sendbuf, sendcount, sendtype, dest=dst,
+                tag=_TAG_ALLGATHERV, coll_ctx=ctx,
+            ))
+        yield from wait_all(reqs)
+    else:
+        PERF.bump("coll_rounds", size - 1)
+        right = (rank + 1) % size
+        left = (rank - 1) % size
+        for step in range(size - 1):
+            sblk = (rank - step) % size
+            rblk = (rank - step - 1) % size
+            rreq = comm.Irecv(
+                _block(recvbuf, rdispls[rblk], rtypes[rblk], recvcounts[rblk]),
+                recvcounts[rblk], rtypes[rblk], source=left,
+                tag=_TAG_ALLGATHERV, coll_ctx=ctx,
+            )
+            sreq = comm.Isend(
+                _block(recvbuf, rdispls[sblk], rtypes[sblk], recvcounts[sblk]),
+                recvcounts[sblk], rtypes[sblk], dest=right,
+                tag=_TAG_ALLGATHERV, coll_ctx=ctx,
+            )
+            yield from wait_all([sreq, rreq])
+
+
+def neighbor_alltoallv(
+    cart: "CartComm",
+    sendbuf: BufferPtr,
+    sendcounts: Sequence[int],
+    sdispls: Sequence[int],
+    sendtypes: PeerTypes,
+    recvbuf: BufferPtr,
+    recvcounts: Sequence[int],
+    rdispls: Sequence[int],
+    recvtypes: PeerTypes,
+):
+    """Datatype-aware Cartesian neighbor exchange
+    (``MPI_Neighbor_alltoallv``/``w``).
+
+    Neighbor order follows the standard: for each dimension, the
+    negative-displacement neighbor then the positive one (exactly
+    ``Cart_shift(d, 1)``'s ``(source, dest)`` pair), ``2 * ndims`` slots
+    total. ``MPI_PROC_NULL`` slots (non-periodic edges) keep their array
+    positions but exchange nothing. All transfers post non-blocking in
+    one round -- a halo exchange is latency-bound, and each face's
+    derived datatype still gets its own tuned pipeline flow.
+    """
+    ndims = cart.ndims
+    nn = 2 * ndims
+    stypes = _per_peer_types(sendtypes, nn, "neighbor_alltoallv")
+    rtypes = _per_peer_types(recvtypes, nn, "neighbor_alltoallv")
+    _check_vargs(
+        "neighbor_alltoallv send", nn, sendcounts, sdispls, stypes, sendbuf
+    )
+    _check_vargs(
+        "neighbor_alltoallv recv", nn, recvcounts, rdispls, rtypes, recvbuf
+    )
+    neighbors: List[int] = []
+    for d in range(ndims):
+        lo, hi = cart.Cart_shift(d, 1)
+        neighbors.extend((lo, hi))
+    live = [n for n in neighbors if n != PROC_NULL]
+    ctx = _coll_context(len(live))
+    PERF.bump("coll_calls")
+    PERF.bump("coll_rounds")
+    PERF.bump("coll_messages", len(live))
+    PERF.bump("coll_small_sched")
+    reqs = []
+    nbytes = 0
+    for slot, peer in enumerate(neighbors):
+        reqs.append(cart.Irecv(
+            _block(recvbuf, rdispls[slot], rtypes[slot], recvcounts[slot]),
+            recvcounts[slot], rtypes[slot], source=peer, tag=_TAG_NEIGHBOR,
+            coll_ctx=ctx,
+        ))
+    for slot, peer in enumerate(neighbors):
+        reqs.append(cart.Isend(
+            _block(sendbuf, sdispls[slot], stypes[slot], sendcounts[slot]),
+            sendcounts[slot], stypes[slot], dest=peer, tag=_TAG_NEIGHBOR,
+            coll_ctx=ctx,
+        ))
+        if peer != PROC_NULL:
+            nbytes += stypes[slot].size * sendcounts[slot]
+    PERF.bump("coll_bytes", nbytes)
+    yield from wait_all(reqs)

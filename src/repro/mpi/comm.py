@@ -91,14 +91,19 @@ class Comm:
     # -- point to point -----------------------------------------------------------
     def Isend(
         self, buf: BufferPtr, count: int, datatype: Datatype, dest: int,
-        tag: int = 0,
+        tag: int = 0, coll_ctx: Optional[str] = None,
     ) -> Request:
-        """``MPI_Isend``."""
+        """``MPI_Isend``.
+
+        ``coll_ctx`` (internal) tags a peer-message spawned inside a
+        collective with the fan-out context the tuning table resolves
+        against; plain point-to-point callers leave it None.
+        """
         if dest == PROC_NULL:
             return Request.null(self.endpoint.env, "send")
         return _proto.isend(
             self.endpoint, buf, count, datatype, self._world_peer(dest), tag,
-            self.comm_id,
+            self.comm_id, coll_ctx=coll_ctx,
         )
 
     def Issend(
@@ -120,13 +125,15 @@ class Comm:
         datatype: Datatype,
         source: int = ANY_SOURCE,
         tag: int = ANY_TAG,
+        coll_ctx: Optional[str] = None,
     ) -> Request:
-        """``MPI_Irecv``."""
+        """``MPI_Irecv`` (``coll_ctx`` as in :meth:`Isend`)."""
         if source == PROC_NULL:
             return Request.null(self.endpoint.env, "recv")
         src = source if source == ANY_SOURCE else self._world_peer(source)
         req = _proto.irecv(
-            self.endpoint, buf, count, datatype, src, tag, self.comm_id
+            self.endpoint, buf, count, datatype, src, tag, self.comm_id,
+            coll_ctx=coll_ctx,
         )
         req.status_hook = self._status_hook
         return req
@@ -296,6 +303,47 @@ class Comm:
     ):
         """``MPI_Alltoall``."""
         return _coll.alltoall(self, sendbuf, recvbuf, count, datatype)
+
+    def Alltoallv(
+        self,
+        sendbuf: BufferPtr,
+        sendcounts: Sequence[int],
+        sdispls: Sequence[int],
+        sendtypes,
+        recvbuf: BufferPtr,
+        recvcounts: Sequence[int],
+        rdispls: Sequence[int],
+        recvtypes,
+    ):
+        """``MPI_Alltoallv`` (byte displacements, ``Alltoallw`` types).
+
+        ``sendtypes``/``recvtypes`` may be one :class:`Datatype` for all
+        peers or a per-peer sequence; displacements are in bytes, so the
+        single-type form is exactly ``MPI_Alltoallw``'s convention (which
+        byte-displacement ``Alltoallv`` degenerates to). Each peer block
+        rides its own pipelined point-to-point flow with the collective's
+        fan-out tuning context.
+        """
+        return _coll.alltoallv(
+            self, sendbuf, sendcounts, sdispls, sendtypes,
+            recvbuf, recvcounts, rdispls, recvtypes,
+        )
+
+    def Allgatherv(
+        self,
+        sendbuf: BufferPtr,
+        sendcount: int,
+        sendtype: Datatype,
+        recvbuf: BufferPtr,
+        recvcounts: Sequence[int],
+        rdispls: Sequence[int],
+        recvtypes,
+    ):
+        """``MPI_Allgatherv`` (byte displacements, scalar or per-rank types)."""
+        return _coll.allgatherv(
+            self, sendbuf, sendcount, sendtype,
+            recvbuf, recvcounts, rdispls, recvtypes,
+        )
 
     # -- explicit pack/unpack --------------------------------------------------------
     def Pack_size(self, count: int, datatype: Datatype) -> int:
@@ -516,6 +564,29 @@ class CartComm(Comm):
             return self.Cart_rank(c)
 
         return neighbour(-disp), neighbour(disp)
+
+    def Neighbor_alltoallv(
+        self,
+        sendbuf: BufferPtr,
+        sendcounts: Sequence[int],
+        sdispls: Sequence[int],
+        sendtypes,
+        recvbuf: BufferPtr,
+        recvcounts: Sequence[int],
+        rdispls: Sequence[int],
+        recvtypes,
+    ):
+        """``MPI_Neighbor_alltoallv`` on the Cartesian topology.
+
+        ``2 * ndims`` slots ordered (negative, positive) per dimension;
+        ``MPI_PROC_NULL`` slots at non-periodic edges exchange nothing
+        but keep their positions. Byte displacements, scalar or per-slot
+        datatypes (the ``Neighbor_alltoallw`` convention).
+        """
+        return _coll.neighbor_alltoallv(
+            self, sendbuf, sendcounts, sdispls, sendtypes,
+            recvbuf, recvcounts, rdispls, recvtypes,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

@@ -215,11 +215,15 @@ def isend(
     tag: int,
     comm_id: int,
     mode: str = "standard",
+    coll_ctx: Optional[str] = None,
 ) -> Request:
     """Start a non-blocking send; returns the request.
 
     ``mode="synchronous"`` (``MPI_Ssend``) forces the rendezvous protocol so
     the send cannot complete before a matching receive is posted.
+    ``coll_ctx`` tags peer-messages spawned inside a collective with the
+    fan-out context string the tuning table resolves against (None for
+    plain point-to-point traffic -- the resolution is then unchanged).
     """
     datatype.require_committed()
     check_buffer_bounds(buf, datatype, count)
@@ -229,6 +233,7 @@ def isend(
         raise MpiError(f"unknown send mode {mode!r}")
     total = datatype.size * count
     req = Request(endpoint.env, "send", buf=buf, datatype=datatype, count=count)
+    req.coll_ctx = coll_ctx
     envelope = Envelope(
         src=endpoint.rank,
         dst=dest,
@@ -297,6 +302,7 @@ def irecv(
     source: int,
     tag: int,
     comm_id: int,
+    coll_ctx: Optional[str] = None,
 ) -> Request:
     """Post a non-blocking receive; returns the request."""
     datatype.require_committed()
@@ -304,6 +310,7 @@ def irecv(
     if count < 0:
         raise MpiError("negative recv count")
     req = Request(endpoint.env, "recv", buf=buf, datatype=datatype, count=count)
+    req.coll_ctx = coll_ctx
     posted = PostedRecv(request=req, src=source, tag=tag, comm_id=comm_id)
     match = endpoint.matching.post_recv(posted)
     if match is not None:
@@ -741,7 +748,7 @@ def _rdv_send_host(endpoint, envelope, buf, count, datatype, req):
                 cap = min(cap, endpoint.peer_vbuf_bytes)
             tuned = tuned_chunk_pref(
                 endpoint.tuning, datatype, count, total, cap,
-                memo=endpoint.tune_memo,
+                memo=endpoint.tune_memo, ctx=req.coll_ctx,
             )
             if tuned:
                 chunk_pref = tuned

@@ -24,7 +24,7 @@ class Request:
 
     __slots__ = (
         "env", "kind", "status", "_done", "buf", "datatype", "count",
-        "status_hook",
+        "status_hook", "coll_ctx",
     )
 
     def __init__(
@@ -47,6 +47,9 @@ class Request:
         #: Optional fn(Status) -> Status applied at completion; used by
         #: sub-communicators to translate world ranks into comm ranks.
         self.status_hook = None
+        #: Collective context string (``tune.signature.coll_context``) for
+        #: peer-messages spawned inside a collective; None for plain p2p.
+        self.coll_ctx: Optional[str] = None
 
     @classmethod
     def null(cls, env: Environment, kind: str) -> "Request":

@@ -25,12 +25,14 @@ __all__ = [
     "tune_file",
     "dtype_file",
     "backend_file",
+    "coll_file",
     "load",
     "record_wallclock",
     "record_shard_wallclock",
     "record_tuned_comparison",
     "record_dtype_comparison",
     "record_backend_comparison",
+    "record_coll_comparison",
     "record_pack_throughput",
     "record_sim_throughput",
     "record_wheel_baseline",
@@ -42,6 +44,7 @@ _SHARD_NAME = "BENCH_shard.json"
 _TUNE_NAME = "BENCH_tune.json"
 _DTYPE_NAME = "BENCH_dtype.json"
 _BACKEND_NAME = "BENCH_backend.json"
+_COLL_NAME = "BENCH_coll.json"
 
 
 def _resolve(env_var: str, default_name: str) -> Path:
@@ -122,6 +125,20 @@ def backend_file() -> Path:
     asserts.
     """
     return _resolve("REPRO_BENCH_BACKEND", _BACKEND_NAME)
+
+
+def coll_file() -> Path:
+    """Resolve ``BENCH_coll.json``: ``$REPRO_BENCH_COLL`` or repo root.
+
+    A comparison ledger over *simulated* seconds, written by the ``coll``
+    experiment: each entry pins the naive pack-then-exchange collective
+    (``before`` -- every block staged through a blocking host pack and
+    shipped as contiguous bytes) against the datatype-aware ``Alltoallv``
+    (``after`` -- each peer block one tuned pipeline flow) on the same
+    layout and size bucket. The CI gate requires ``speedup`` >= 1.2 on at
+    least one bucket.
+    """
+    return _resolve("REPRO_BENCH_COLL", _COLL_NAME)
 
 
 def load(path: Optional[Path] = None) -> dict:
@@ -252,6 +269,37 @@ def record_backend_comparison(
     if entry["after"] > 0:
         entry["speedup"] = round(entry["before"] / entry["after"], 3)
     _save(data, path or backend_file())
+    return entry
+
+
+def record_coll_comparison(
+    name: str,
+    naive_seconds: float,
+    aware_seconds: float,
+    schedule: str,
+    messages: int,
+    path: Optional[Path] = None,
+) -> dict:
+    """Record one naive-vs-datatype-aware collective pair in the ledger.
+
+    Both numbers come from the same ``coll`` experiment run: ``before``
+    is the pack-then-alltoallv baseline (blocking host pack per block,
+    contiguous byte exchange, blocking unpack), ``after`` the
+    datatype-aware ``Alltoallv`` over the identical buffers, whose
+    schedule (``small`` / ``large``) and peer-message count are recorded
+    alongside. Simulated seconds -- rerunning on a different machine
+    reproduces them exactly.
+    """
+    data = load(path or coll_file())
+    experiments: Dict[str, dict] = data.setdefault("experiments", {})
+    entry = experiments.setdefault(name, {})
+    entry["before"] = round(naive_seconds, 9)
+    entry["after"] = round(aware_seconds, 9)
+    entry["schedule"] = schedule
+    entry["messages"] = messages
+    if entry["after"] > 0:
+        entry["speedup"] = round(entry["before"] / entry["after"], 3)
+    _save(data, path or coll_file())
     return entry
 
 

@@ -141,6 +141,35 @@ Tuning counters (:mod:`repro.tune`; all zero unless a table is attached)
     Backend candidates excluded by the Hunold/Träff guideline guard (a
     modeled cost above the default path's tolerance band).
 
+Collective counters (:mod:`repro.mpi.collectives`; all zero unless a
+datatype-aware v-variant ran)
+--------------------------------------------------------------------------
+``coll_calls``
+    Datatype-aware collective invocations (``alltoallv``, ``allgatherv``,
+    ``neighbor_alltoallv``), bumped once per call per rank.
+``coll_messages``
+    Point-to-point peer-messages those collectives decomposed into (the
+    flows that individually hit the rendezvous pipeline and the tuning
+    table), counted on the sending rank.
+``coll_rounds``
+    Schedule rounds executed: 1 for the overlapped small/neighbor
+    schedules, ``size - 1`` for the large scattered-destination and ring
+    schedules.
+``coll_bytes``
+    Typed payload bytes the calling rank contributed (datatype ``size``
+    times count, summed over live peers).
+``coll_small_sched`` / ``coll_large_sched``
+    Calls that took the single-round eager-friendly schedule vs. the
+    windowed/ring large-message schedule.
+``coll_tuned_hit``
+    Tuned-table resolutions served by a *collective-context* entry
+    (``...|coll:f<fanout>``) rather than a context-free one -- the
+    fan-out-aware rows earning their keep (bumped in
+    :mod:`repro.tune.table`; a subset of ``tune_lookup_hit``).
+
+Every collective counter is a pure function of each rank's own calls
+and traffic, so the totals are invariant under shard partitioning.
+
 Backend counters (:mod:`repro.core.backends`)
 --------------------------------------------------------------------------
 ``backend_gpu_chunks`` / ``backend_host_chunks`` / ``backend_nic_chunks``
@@ -334,6 +363,34 @@ class PerfStats:
         if provenance:
             parts.append(f"table {provenance}")
         return "[tune: " + ", ".join(parts) + "]"
+
+    #: Counters that appear in the coll footer (order matters for output).
+    COLL_COUNTERS = (
+        "coll_calls", "coll_messages", "coll_rounds", "coll_bytes",
+        "coll_small_sched", "coll_large_sched", "coll_tuned_hit",
+    )
+
+    def coll_footer(self) -> str:
+        """The one-line ``[coll: ...]`` footer; empty when no
+        datatype-aware collective ran.
+
+        Summarizes how the v-variants decomposed: calls, the peer-messages
+        they spawned, schedule rounds, the small/large schedule split and
+        how many tuned resolutions a collective-context table row served.
+        """
+        c = self.counters
+        calls = c["coll_calls"]
+        if not calls:
+            return ""
+        parts = [
+            f"{calls} calls -> {c['coll_messages']} msgs / "
+            f"{c['coll_rounds']} rounds",
+            f"{c['coll_bytes']} B typed",
+            f"sched {c['coll_small_sched']} small / "
+            f"{c['coll_large_sched']} large",
+            f"{c['coll_tuned_hit']} ctx-tuned hits",
+        ]
+        return "[coll: " + ", ".join(parts) + "]"
 
     def backend_footer(self) -> str:
         """The one-line ``[backend: ...]`` footer.

@@ -17,7 +17,13 @@ persisted table); without one, the engine is bit-identical to the
 untuned code. ``python -m repro.tune`` drives search/show/apply.
 """
 
-from .signature import LayoutSignature, signature_of_segments, size_bucket
+from .signature import (
+    LayoutSignature,
+    coll_context,
+    fanout_bucket,
+    signature_of_segments,
+    size_bucket,
+)
 from .table import (
     TransferChoice,
     TuningEntry,
@@ -33,6 +39,8 @@ from .table import (
 
 __all__ = [
     "LayoutSignature",
+    "coll_context",
+    "fanout_bucket",
     "signature_of_segments",
     "size_bucket",
     "TransferChoice",

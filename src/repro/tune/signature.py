@@ -21,6 +21,16 @@ A signature never contains the element *count* or the message size; those
 are folded into a separate power-of-two **size bucket**
 (:func:`size_bucket`), so one table entry covers a band of message sizes
 exactly like MVAPICH2's per-message-size tuning tables.
+
+Collectives add a third, *optional* key dimension: the **fan-out bucket**
+(:func:`fanout_bucket`, rendered as a context string by
+:func:`coll_context`). A peer-message inside an 8-rank ``alltoallv``
+competes with seven concurrent transfers for the same staging pools and
+HCA, so the chunk/backend sweet spot shifts with the fan-out; bucketing
+the peer count to powers of two keeps the table small while letting the
+search learn collective-specific entries. Point-to-point lookups carry no
+context and resolve exactly as before -- the dimension is strictly
+additive.
 """
 
 from __future__ import annotations
@@ -28,7 +38,13 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-__all__ = ["LayoutSignature", "signature_of_segments", "size_bucket"]
+__all__ = [
+    "LayoutSignature",
+    "signature_of_segments",
+    "size_bucket",
+    "fanout_bucket",
+    "coll_context",
+]
 
 
 def size_bucket(nbytes: int) -> int:
@@ -43,6 +59,32 @@ def size_bucket(nbytes: int) -> int:
     if nbytes <= 1:
         return 1
     return 1 << int(round(math.log2(nbytes)))
+
+
+def fanout_bucket(npeers: int) -> int:
+    """The power-of-two bucket a collective's peer count falls into.
+
+    Same geometric rounding as :func:`size_bucket`: a 6-peer neighbor
+    exchange and an 8-rank ``alltoallv`` share the fan-out-8 bucket, a
+    64-rank one gets its own. Zero or one peer degenerates to bucket 1
+    (a "collective" that is really a point-to-point).
+    """
+    if npeers < 0:
+        raise ValueError("npeers must be non-negative")
+    if npeers <= 1:
+        return 1
+    return 1 << int(round(math.log2(npeers)))
+
+
+def coll_context(npeers: int) -> str:
+    """The collective context-key string for an ``npeers``-way exchange.
+
+    The string form (``"coll:f<bucket>"``) is what qualifies tuning-table
+    entry keys and per-transfer resolutions; it deliberately contains no
+    ``|`` (the table's key separator) and no size information (sizes keep
+    their own bucket dimension).
+    """
+    return f"coll:f{fanout_bucket(npeers)}"
 
 
 def _log2_bucket(n: int) -> int:

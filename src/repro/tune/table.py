@@ -129,16 +129,28 @@ class TuningEntry:
             )
 
 
-def _entry_key(sig_key: str, bucket: int) -> str:
-    return f"{sig_key}|s{bucket}"
+def _entry_key(sig_key: str, bucket: int, ctx: str = "") -> str:
+    base = f"{sig_key}|s{bucket}"
+    return f"{base}|{ctx}" if ctx else base
 
 
-def _split_key(key: str) -> Tuple[str, int]:
-    sig_key, _, bucket = key.rpartition("|s")
+def _split_key(key: str) -> Tuple[str, int, str]:
+    """``(sig key, bucket, context)`` of a full entry key.
+
+    Point-to-point entries have two ``|``-separated parts
+    (``"<sig>|s<bucket>"``); collective entries carry a third, the
+    context string of :func:`repro.tune.signature.coll_context`
+    (``"<sig>|s<bucket>|coll:f<n>"``). Signatures and contexts never
+    contain ``|`` themselves.
+    """
+    parts = key.split("|")
+    if len(parts) < 2 or not parts[1].startswith("s"):
+        raise TuningTableError(f"malformed tuning-table key {key!r}")
     try:
-        return sig_key, int(bucket)
+        bucket = int(parts[1][1:])
     except ValueError:
         raise TuningTableError(f"malformed tuning-table key {key!r}") from None
+    return parts[0], bucket, "|".join(parts[2:])
 
 
 #: Provenance strings of tables loaded/attached this process, for the
@@ -173,15 +185,16 @@ class TuningTable:
         #: search parameters / creation info, persisted verbatim.
         self.meta: dict = dict(meta or {})
         self.source = source
-        #: (sig key, bucket) -> (entry-or-None, resolved-via-nearest).
-        self._lru: "OrderedDict[Tuple[str, int], Tuple[Optional[TuningEntry], bool]]" = (
+        #: (sig key, bucket, ctx) -> (entry-or-None, via-nearest, via-ctx).
+        self._lru: "OrderedDict[Tuple[str, int, str], Tuple[Optional[TuningEntry], bool, bool]]" = (
             OrderedDict()
         )
         _note_provenance(self.provenance())
 
     # -- construction -------------------------------------------------------
-    def set(self, sig: LayoutSignature, bucket: int, entry: TuningEntry) -> None:
-        self.entries[_entry_key(sig.key(), bucket)] = entry
+    def set(self, sig: LayoutSignature, bucket: int, entry: TuningEntry,
+            ctx: str = "") -> None:
+        self.entries[_entry_key(sig.key(), bucket, ctx)] = entry
         self._lru.clear()
 
     def provenance(self) -> str:
@@ -213,31 +226,60 @@ class TuningTable:
         :func:`tuned_transfer_choice`, which reports per *resolution
         request* -- a pure function of each endpoint's own traffic.
         """
+        entry, nearest, _ = self.resolve_ctx(sig, total_bytes, "")
+        return entry, nearest
+
+    def resolve_ctx(
+        self, sig: LayoutSignature, total_bytes: int, ctx: str = ""
+    ) -> Tuple[Optional[TuningEntry], bool, bool]:
+        """``(entry, via_nearest, via_ctx)`` with a collective context.
+
+        A nonempty ``ctx`` (see :func:`repro.tune.signature.coll_context`)
+        first resolves among the context-qualified entries (exact bucket,
+        then nearest of the same signature *and* context); only when the
+        context has no entry for the layout class does the lookup fall
+        back to the context-free point-to-point entries. ``via_ctx``
+        reports whether a context-qualified entry won. With ``ctx`` empty
+        this is exactly :meth:`resolve`, so point-to-point resolution is
+        byte-identical to the pre-collective table.
+        """
         bucket = size_bucket(total_bytes)
-        key = (sig.key(), bucket)
+        key = (sig.key(), bucket, ctx)
         if key in self._lru:
             self._lru.move_to_end(key)
             return self._lru[key]
-        entry = self.entries.get(_entry_key(*key))
+        entry = None
         nearest = False
+        from_ctx = False
+        if ctx:
+            entry = self.entries.get(_entry_key(sig.key(), bucket, ctx))
+            if entry is None:
+                entry = self._nearest(sig.key(), bucket, ctx)
+                nearest = entry is not None
+            from_ctx = entry is not None
         if entry is None:
-            entry = self._nearest(sig.key(), bucket)
-            nearest = entry is not None
-        self._lru[key] = (entry, nearest)
+            entry = self.entries.get(_entry_key(sig.key(), bucket))
+            nearest = False
+            if entry is None:
+                entry = self._nearest(sig.key(), bucket)
+                nearest = entry is not None
+        resolved = (entry, nearest, from_ctx)
+        self._lru[key] = resolved
         if len(self._lru) > LOOKUP_LRU_CAP:
             self._lru.popitem(last=False)
-        return entry, nearest
+        return resolved
 
     def lookup(self, sig: LayoutSignature, total_bytes: int) -> Optional[TuningEntry]:
         """Entry for a transfer of ``total_bytes`` (see :meth:`resolve`)."""
         return self.resolve(sig, total_bytes)[0]
 
-    def _nearest(self, sig_key: str, bucket: int) -> Optional[TuningEntry]:
+    def _nearest(self, sig_key: str, bucket: int,
+                 ctx: str = "") -> Optional[TuningEntry]:
         best = None
         best_rank = None
         for key, entry in self.entries.items():
-            entry_sig, entry_bucket = _split_key(key)
-            if entry_sig != sig_key:
+            entry_sig, entry_bucket, entry_ctx = _split_key(key)
+            if entry_sig != sig_key or entry_ctx != ctx:
                 continue
             distance = abs(
                 entry_bucket.bit_length() - bucket.bit_length()
@@ -268,10 +310,14 @@ class TuningTable:
             )
         entries = {}
         for key, raw in data.get("entries", {}).items():
-            sig_key, bucket = _split_key(key)
+            sig_key, bucket, ctx = _split_key(key)
             LayoutSignature.from_key(sig_key)  # validates the shape part
             if bucket < 1:
                 raise TuningTableError(f"{source}: bad size bucket in {key!r}")
+            if ctx and not ctx.startswith("coll:"):
+                raise TuningTableError(
+                    f"{source}: unknown context qualifier in {key!r}"
+                )
             try:
                 entries[key] = TuningEntry(**raw)
             except TypeError as exc:
@@ -338,7 +384,8 @@ class TransferChoice:
 
 
 def tuned_transfer_choice(table, datatype, count: int, total_bytes: int,
-                          cap: int, memo: Optional[dict] = None
+                          cap: int, memo: Optional[dict] = None,
+                          ctx: Optional[str] = None
                           ) -> Optional[TransferChoice]:
     """Resolve the tuned ``(backend, chunk)`` choice for one transfer.
 
@@ -350,6 +397,13 @@ def tuned_transfer_choice(table, datatype, count: int, total_bytes: int,
     static config; with ``table`` None this function is never called (the
     no-table path stays bit-identical to the pre-tuning engine).
 
+    ``ctx`` is the collective context string
+    (:func:`repro.tune.signature.coll_context`) for peer-messages spawned
+    by a collective; resolution prefers context-qualified entries and
+    falls back to the point-to-point ones (see
+    :meth:`TuningTable.resolve_ctx`). A context-qualified win bumps
+    ``coll_tuned_hit`` for the ``[coll:]`` footer.
+
     ``memo`` is the caller's per-endpoint resolution cache (e.g.
     ``endpoint.tune_memo``): unlike the table-internal LRU it is local to
     one endpoint, so the ``tune_lru_hit`` counter it feeds is invariant
@@ -358,12 +412,14 @@ def tuned_transfer_choice(table, datatype, count: int, total_bytes: int,
     the table walk.
     """
     sig = datatype.layout_signature(count)
-    key = (sig.key(), size_bucket(total_bytes), cap)
+    key = (sig.key(), size_bucket(total_bytes), cap, ctx or "")
     if memo is not None and key in memo:
-        choice, nearest = memo[key]
+        choice, nearest, via_ctx = memo[key]
         PERF.bump("tune_lru_hit")
     else:
-        entry, nearest = table.resolve(sig, total_bytes)
+        entry, nearest, via_ctx = table.resolve_ctx(
+            sig, total_bytes, ctx or ""
+        )
         if entry is None:
             choice = None
         else:
@@ -373,22 +429,25 @@ def tuned_transfer_choice(table, datatype, count: int, total_bytes: int,
                 clamped=chunk < entry.chunk_bytes,
             )
         if memo is not None:
-            memo[key] = (choice, nearest)
+            memo[key] = (choice, nearest, via_ctx)
     if choice is None:
         PERF.bump("tune_lookup_miss")
         return None
     PERF.bump("tune_lookup_hit")
     if nearest:
         PERF.bump("tune_nearest_bucket")
+    if via_ctx:
+        PERF.bump("coll_tuned_hit")
     if choice.clamped:
         PERF.bump("tune_chunk_clamped")
     return choice
 
 
 def tuned_chunk_pref(table, datatype, count: int, total_bytes: int,
-                     cap: int, memo: Optional[dict] = None) -> Optional[int]:
+                     cap: int, memo: Optional[dict] = None,
+                     ctx: Optional[str] = None) -> Optional[int]:
     """Chunk-size-only view of :func:`tuned_transfer_choice` (or None)."""
     choice = tuned_transfer_choice(
-        table, datatype, count, total_bytes, cap, memo=memo
+        table, datatype, count, total_bytes, cap, memo=memo, ctx=ctx
     )
     return None if choice is None else choice.chunk_bytes

@@ -192,3 +192,116 @@ class TestAllgather:
                 yield from ctx.comm.Allgather(sbuf, rbuf, 16, BYTE)
 
         run_world(program, 2)
+
+
+class TestExtentCarryingTypes:
+    """Satellite regression: the equal-block size math must use
+    ``extent * (count - 1) + size`` for extent-carrying (resized) types,
+    not ``size * count``."""
+
+    @staticmethod
+    def resized_double():
+        from repro.mpi import Datatype
+
+        base = Datatype.named(np.float64)
+        # 8 payload bytes carried in a 16-byte extent (an 8-byte hole).
+        return Datatype.resized(base, 0, 16).commit()
+
+    def test_reduce_resized_sum_preserves_holes(self):
+        size, count = 3, 4
+
+        def program(ctx):
+            rt = self.resized_double()
+            assert rt.span_for_count(count) == 16 * (count - 1) + 8
+            sbuf = host_buf(ctx, 64)
+            sbuf.view()[:] = 0xAB
+            sbuf.view(np.float64)[0::2] = (ctx.rank + 1) * (
+                np.arange(count, dtype=np.float64) + 1.0
+            )
+            rbuf = None
+            if ctx.rank == 0:
+                rbuf = host_buf(ctx, 64)
+                rbuf.view()[:] = 0xEE  # sentinel in the extent holes
+            yield from ctx.comm.Reduce(sbuf, rbuf, count, rt, op="sum",
+                                       root=0)
+            if ctx.rank == 0:
+                return (rbuf.view(np.float64)[0::2].copy(),
+                        rbuf.view()[8:16].copy())
+
+        elems, hole = run_world(program, size)[0]
+        factor = sum(r + 1 for r in range(size))
+        assert np.array_equal(elems, factor * (np.arange(4) + 1.0))
+        # The reduction must never write into the extent holes.
+        assert (hole == 0xEE).all()
+
+    def test_gather_resized_blocks(self):
+        size, count = 3, 2
+        rt_blk, rt_span = 16 * count, 16 * (count - 1) + 8
+
+        def program(ctx):
+            rt = self.resized_double()
+            sbuf = host_buf(ctx, rt_span)
+            sbuf.view(np.float64)[0::2] = ctx.rank * 10 + np.array([1.0, 2.0])
+            rbuf = None
+            if ctx.rank == 0:
+                rbuf = host_buf(ctx, rt_blk * (size - 1) + rt_span)
+            yield from ctx.comm.Gather(sbuf, rbuf, count, rt, root=0)
+            if ctx.rank == 0:
+                v = rbuf.view(np.float64)
+                return [v[i * 4:i * 4 + 4:2].copy() for i in range(size)]
+
+        blocks = run_world(program, size)[0]
+        for src in range(size):
+            assert np.array_equal(blocks[src],
+                                  src * 10 + np.array([1.0, 2.0]))
+
+    def test_gather_resized_undersized_recvbuf_rejected(self):
+        # The receive buffer must hold blk*(size-1)+span bytes (the last
+        # block only needs span, not the full stride); one byte short of
+        # the single-rank span must already be rejected.
+        count = 2
+        span = 16 * (count - 1) + 8
+
+        def program(ctx):
+            rt = self.resized_double()
+            sbuf = host_buf(ctx, span)
+            rbuf = host_buf(ctx, span - 1)
+            with pytest.raises(MpiError, match="receive buffer"):
+                yield from ctx.comm.Gather(sbuf, rbuf, count, rt, root=0)
+
+        run_world(program, 1)
+
+
+class TestNonContiguousGuards:
+    """Satellite: equal-block collectives reject genuinely strided
+    element layouts and point at the v-variants."""
+
+    @staticmethod
+    def strided():
+        from repro.mpi import Datatype
+
+        return Datatype.vector(2, 1, 3, INT).commit()
+
+    @pytest.mark.parametrize("op", ["alltoall", "allgather", "gather",
+                                    "scatter", "reduce"])
+    def test_strided_element_rejected(self, op):
+        def program(ctx):
+            dt = self.strided()
+            span = dt.span_for_count(1)
+            a = host_buf(ctx, 2 * span)
+            b = host_buf(ctx, 2 * span)
+            with pytest.raises(MpiError,
+                               match="alltoallv|contiguous"):
+                if op == "alltoall":
+                    yield from ctx.comm.Alltoall(a, b, 1, dt)
+                elif op == "allgather":
+                    yield from ctx.comm.Allgather(a, b, 1, dt)
+                elif op == "gather":
+                    yield from ctx.comm.Gather(a, b, 1, dt, root=0)
+                elif op == "scatter":
+                    yield from ctx.comm.Scatter(a, b, 1, dt, root=0)
+                else:
+                    yield from ctx.comm.Reduce(a, b, 1, dt, op="sum",
+                                               root=0)
+
+        run_world(program, 2)

@@ -1,0 +1,330 @@
+"""Datatype-aware v-variant collectives: correctness, schedules,
+backend byte-equality and shard partition-invariance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GpuNcConfig
+from repro.hw import Cluster, KiB
+from repro.mpi import BYTE, INT, Datatype, MpiError, MpiWorld, run_world
+from repro.mpi.pack import pack_bytes
+from repro.perf.stats import PERF, PerfStats
+
+
+def host_buf(ctx, nbytes):
+    return ctx.node.malloc_host(nbytes)
+
+
+def coll_deltas(before):
+    names = set(PerfStats.COLL_COUNTERS) | set(PerfStats.TUNE_COUNTERS)
+    after = PERF.snapshot()
+    return {n: after.get(n, 0) - before.get(n, 0) for n in sorted(names)}
+
+
+class TestAlltoallv:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4])
+    def test_host_varying_counts(self, size):
+        # counts[r][p] = r + p + 1 is symmetric, so each rank's
+        # recvcounts equal the peers' sendcounts by construction.
+        def program(ctx):
+            r = ctx.rank
+            counts = [r + p + 1 for p in range(size)]
+            displs = [4 * sum(counts[:p]) for p in range(size)]
+            total = 4 * sum(counts)
+            sbuf, rbuf = host_buf(ctx, total), host_buf(ctx, total)
+            for p in range(size):
+                sbuf.view(np.int32)[
+                    displs[p] // 4 : displs[p] // 4 + counts[p]
+                ] = r * 100 + p
+            yield from ctx.comm.Alltoallv(
+                sbuf, counts, displs, INT, rbuf, counts, displs, INT
+            )
+            return rbuf.to_array(np.int32), counts, displs
+
+        for r, (got, counts, displs) in enumerate(run_world(program, size)):
+            for src in range(size):
+                block = got[displs[src] // 4 : displs[src] // 4 + counts[src]]
+                assert (block == src * 100 + r).all(), (r, src)
+
+    def test_device_column_blocks(self):
+        # The transpose exchange: rank r sends column block j of its
+        # (nr, n) device array to rank j.
+        size, nr = 4, 8
+        n = size * nr
+        rng = np.random.default_rng(42)
+        data = [rng.random((nr, n), dtype=np.float32) for _ in range(size)]
+
+        def program(ctx):
+            r = ctx.rank
+            a = ctx.cuda.malloc(nr * n * 4)
+            b = ctx.cuda.malloc(nr * n * 4)
+            a.fill_from(data[r])
+            base = Datatype.named(np.float32)
+            blocks = [
+                Datatype.subarray([nr, n], [nr, nr], [0, j * nr],
+                                  base).commit()
+                for j in range(size)
+            ]
+            ones, zeros = [1] * size, [0] * size
+            yield from ctx.comm.Alltoallv(a, ones, zeros, blocks,
+                                          b, ones, zeros, blocks)
+            return b.view(np.float32).reshape(nr, n).copy()
+
+        for r, got in enumerate(run_world(program, size)):
+            for src in range(size):
+                expect = data[src][:, r * nr:(r + 1) * nr]
+                assert np.array_equal(got[:, src * nr:(src + 1) * nr],
+                                      expect), (r, src)
+
+    def test_distinct_send_recv_types(self):
+        # Contiguous ints on the wire, scattered into a strided layout
+        # on the receive side (the alltoallw-style per-side types).
+        size, count = 2, 4
+
+        def program(ctx):
+            r = ctx.rank
+            vec = Datatype.vector(count, 1, 2, INT).commit()
+            span = vec.span_for_count(1)
+            sbuf = host_buf(ctx, size * count * 4)
+            rbuf = host_buf(ctx, size * span)
+            rbuf.view()[:] = 0xFF
+            sbuf.view(np.int32)[:] = np.arange(size * count) + 10 * r
+            sdispls = [p * count * 4 for p in range(size)]
+            rdispls = [p * span for p in range(size)]
+            yield from ctx.comm.Alltoallv(
+                sbuf, [count] * size, sdispls, INT,
+                rbuf, [1] * size, rdispls, vec,
+            )
+            # span covers 2*count-1 ints (no trailing gap).
+            return [rbuf.sub(d, span).to_array(np.int32) for d in rdispls]
+
+        for r, got in enumerate(run_world(program, size)):
+            for src in range(size):
+                # Elements land on the even slots, gaps stay 0xFF.
+                assert (got[src][0::2] ==
+                        np.arange(count) + r * count + 10 * src).all()
+                assert (got[src][1::2] == -1).all()  # 0xFFFFFFFF as int32
+
+    def test_schedule_split_and_counters(self):
+        # Sub-eager blocks take the single-round schedule; rendezvous
+        # blocks the windowed (size-1)-round schedule.
+        for nbytes, sched, rounds in ((256, "coll_small_sched", 1),
+                                      (64 * KiB, "coll_large_sched", 3)):
+            def program(ctx, nbytes=nbytes):
+                size = ctx.size
+                sbuf = host_buf(ctx, size * nbytes)
+                rbuf = host_buf(ctx, size * nbytes)
+                counts = [nbytes] * size
+                displs = [p * nbytes for p in range(size)]
+                yield from ctx.comm.Alltoallv(
+                    sbuf, counts, displs, BYTE, rbuf, counts, displs, BYTE
+                )
+
+            before = PERF.snapshot()
+            run_world(program, 4)
+            d = coll_deltas(before)
+            assert d[sched] == 4  # one per rank
+            assert d["coll_rounds"] == 4 * rounds
+            assert d["coll_messages"] == 16
+            assert d["coll_calls"] == 4
+
+    def test_validation_errors(self):
+        def program(ctx):
+            sbuf, rbuf = host_buf(ctx, 64), host_buf(ctx, 64)
+            two = [1, 1]
+            with pytest.raises(MpiError, match="must have 2 entries"):
+                yield from ctx.comm.Alltoallv(
+                    sbuf, [1], [0], BYTE, rbuf, two, [0, 4], BYTE
+                )
+            with pytest.raises(MpiError, match="negative"):
+                yield from ctx.comm.Alltoallv(
+                    sbuf, [-1, 1], [0, 4], BYTE, rbuf, two, [0, 4], BYTE
+                )
+            with pytest.raises(MpiError, match="exceeds"):
+                yield from ctx.comm.Alltoallv(
+                    sbuf, [64, 64], [0, 64], BYTE, rbuf, two, [0, 4], BYTE
+                )
+            return "ok"
+
+        assert run_world(program, 2) == ["ok"] * 2
+
+
+class TestAllgatherv:
+    @pytest.mark.parametrize("size", [1, 3, 4])
+    def test_varying_counts(self, size):
+        counts = [r + 1 for r in range(size)]
+        displs = [4 * sum(counts[:r]) for r in range(size)]
+        total = 4 * sum(counts)
+
+        def program(ctx):
+            r = ctx.rank
+            sbuf = host_buf(ctx, 4 * counts[r])
+            sbuf.view(np.int32)[:] = r * 10 + np.arange(counts[r])
+            rbuf = host_buf(ctx, total)
+            yield from ctx.comm.Allgatherv(
+                sbuf, counts[r], INT, rbuf, counts, displs, INT
+            )
+            return rbuf.to_array(np.int32)
+
+        for got in run_world(program, size):
+            for src in range(size):
+                block = got[displs[src] // 4 : displs[src] // 4 + counts[src]]
+                assert (block == src * 10 + np.arange(counts[src])).all()
+
+    def test_large_blocks_ride_the_ring(self):
+        size, nbytes = 4, 32 * KiB
+
+        def program(ctx):
+            sbuf = host_buf(ctx, nbytes)
+            sbuf.view()[:] = ctx.rank + 1
+            rbuf = host_buf(ctx, size * nbytes)
+            yield from ctx.comm.Allgatherv(
+                sbuf, nbytes, BYTE, rbuf,
+                [nbytes] * size, [p * nbytes for p in range(size)], BYTE,
+            )
+            return rbuf.view().copy()
+
+        before = PERF.snapshot()
+        for got in run_world(program, size):
+            for src in range(size):
+                assert (got[src * nbytes:(src + 1) * nbytes] == src + 1).all()
+        d = coll_deltas(before)
+        assert d["coll_large_sched"] == size
+        assert d["coll_rounds"] == size * (size - 1)
+
+    def test_send_slot_mismatch_rejected(self):
+        def program(ctx):
+            sbuf, rbuf = host_buf(ctx, 64), host_buf(ctx, 64)
+            with pytest.raises(MpiError, match="receive slot"):
+                yield from ctx.comm.Allgatherv(
+                    sbuf, 8, BYTE, rbuf, [4, 4], [0, 4], BYTE
+                )
+            return "ok"
+
+        assert run_world(program, 2) == ["ok"] * 2
+
+
+class TestNeighborAlltoallv:
+    def test_line_cart_proc_null_slots(self):
+        # 3 ranks on a non-periodic line: the ends keep their PROC_NULL
+        # slots untouched.
+        size, count = 3, 4
+
+        def program(ctx):
+            cart = ctx.comm.Cart_create([size], periods=[False])
+            sbuf = host_buf(ctx, 2 * count * 4)
+            rbuf = host_buf(ctx, 2 * count * 4)
+            rbuf.view(np.int32)[:] = -1
+            # Slot 0 goes to the left neighbour, slot 1 to the right.
+            sbuf.view(np.int32)[:count] = ctx.rank * 100
+            sbuf.view(np.int32)[count:] = ctx.rank * 100 + 1
+            counts = [count, count]
+            displs = [0, count * 4]
+            yield from cart.Neighbor_alltoallv(
+                sbuf, counts, displs, INT, rbuf, counts, displs, INT
+            )
+            return rbuf.to_array(np.int32).reshape(2, count)
+
+        got = run_world(program, size)
+        # Rank 1 hears from both sides: rank 0's right slot, rank 2's left.
+        assert (got[1][0] == 1).all()      # 0 * 100 + 1
+        assert (got[1][1] == 200).all()    # 2 * 100 + 0
+        # The line ends never hear from the void.
+        assert (got[0][0] == -1).all()
+        assert (got[2][1] == -1).all()
+        assert (got[0][1] == 100).all()
+        assert (got[2][0] == 101).all()
+
+
+@st.composite
+def zoo_datatype(draw):
+    """A committed strided/irregular datatype with a modest footprint."""
+    kind = draw(st.sampled_from(["vector", "hvector", "indexed"]))
+    if kind == "vector":
+        count = draw(st.integers(2, 40))
+        bl = draw(st.integers(1, 4))
+        stride = draw(st.integers(bl + 1, bl + 8))
+        return Datatype.vector(count, bl, stride, BYTE).commit()
+    if kind == "hvector":
+        count = draw(st.integers(2, 32))
+        bl = draw(st.integers(1, 32))
+        stride = draw(st.integers(bl + 1, bl + 64))
+        return Datatype.hvector(count, bl, stride, BYTE).commit()
+    n = draw(st.integers(2, 10))
+    bls = draw(st.lists(st.integers(1, 8), min_size=n, max_size=n))
+    displs, cur = [], 0
+    for bl in bls:
+        cur += draw(st.integers(1, 12))
+        displs.append(cur)
+        cur += bl
+    return Datatype.indexed(bls, displs, BYTE).commit()
+
+
+def run_alltoallv(dtype, seed, backend=None, shards=1):
+    """4-rank device alltoallv of one ``dtype`` block per peer.
+
+    Returns (per-rank packed receive bytes, collective+tune counter
+    deltas, the [coll:] footer, the canonical trace).
+    """
+    size = 4
+    slot = max(dtype.span_for_count(1), 1)
+    rng = np.random.default_rng(seed)
+    patterns = [
+        rng.integers(0, 256, size * slot, np.uint8) for _ in range(size)
+    ]
+    cluster = Cluster(size, shards=shards)
+    gpu_config = GpuNcConfig(backend=backend) if backend else None
+    world = MpiWorld(cluster, gpu_config=gpu_config)
+
+    def program(ctx):
+        sbuf = ctx.cuda.malloc(size * slot)
+        rbuf = ctx.cuda.malloc(size * slot)
+        sbuf.fill_from(patterns[ctx.rank])
+        counts = [1] * size
+        displs = [p * slot for p in range(size)]
+        yield from ctx.comm.Alltoallv(
+            sbuf, counts, displs, dtype, rbuf, counts, displs, dtype
+        )
+        return np.concatenate([
+            pack_bytes(rbuf.sub(d, slot), dtype, 1) for d in displs
+        ])
+
+    before = PERF.snapshot()
+    outs = world.run(program)
+    deltas = coll_deltas(before)
+    stats = PerfStats()
+    stats.merge(deltas)
+    return outs, deltas, stats.coll_footer(), cluster.tracer.canonical()
+
+
+class TestBackendAndShardEquality:
+    """Satellite: byte equality across forced backends, and bit-identical
+    traces plus partition-invariant counters across shard counts."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(dtype=zoo_datatype(), data=st.data())
+    def test_backends_identical_bytes(self, dtype, data):
+        seed = data.draw(st.integers(0, 2**31 - 1))
+        ref, _, _, _ = run_alltoallv(dtype, seed, backend="gpu")
+        for backend in ("host", "nic"):
+            got, _, _, _ = run_alltoallv(dtype, seed, backend=backend)
+            for r in range(4):
+                assert np.array_equal(got[r], ref[r]), (
+                    f"backend {backend} delivered different bytes at "
+                    f"rank {r} for {dtype}"
+                )
+
+    @settings(max_examples=6, deadline=None)
+    @given(dtype=zoo_datatype(), data=st.data())
+    def test_shards_identical(self, dtype, data):
+        seed = data.draw(st.integers(0, 2**31 - 1))
+        seq = run_alltoallv(dtype, seed, shards=1)
+        sharded = run_alltoallv(dtype, seed, shards=2)
+        for r in range(4):
+            assert np.array_equal(seq[0][r], sharded[0][r])
+        # Trace bit-equality, counter and footer partition-invariance.
+        assert seq[3] == sharded[3]
+        assert seq[1] == sharded[1]
+        assert seq[2] == sharded[2] and seq[2].startswith("[coll:")

@@ -146,3 +146,35 @@ class TestClassifierConsistency:
         )
         assert segs.uniform() is None
         assert signature_of_segments(segs).kind == "contig"
+
+
+class TestFanoutBucket:
+    def test_degenerate(self):
+        from repro.tune import fanout_bucket
+
+        assert fanout_bucket(0) == 1
+        assert fanout_bucket(1) == 1
+        with pytest.raises(ValueError):
+            fanout_bucket(-1)
+
+    def test_exact_powers(self):
+        from repro.tune import fanout_bucket
+
+        for p in range(11):
+            assert fanout_bucket(1 << p) == 1 << p
+
+    def test_nearest_in_log_space(self):
+        from repro.tune import fanout_bucket
+
+        assert fanout_bucket(3) == 4   # log2(3)=1.58 rounds up
+        assert fanout_bucket(5) == 4   # log2(5)=2.32 rounds down
+        assert fanout_bucket(6) == 8   # log2(6)=2.58 rounds up
+        assert fanout_bucket(48) == 64
+
+    def test_coll_context_shape(self):
+        from repro.tune import coll_context
+
+        assert coll_context(4) == "coll:f4"
+        assert coll_context(6) == "coll:f8"
+        # Context strings ride inside |-separated entry keys.
+        assert "|" not in coll_context(1024)

@@ -174,3 +174,85 @@ class TestTunedChunkPref:
         assert tuned_chunk_pref(table, self.vec, 1, 4 * KiB,
                                 cap=64 * KiB) == 64 * KiB
         assert PERF.snapshot().get("tune_chunk_clamped", 0) == before + 1
+
+
+def ctx_entry(chunk):
+    return TuningEntry(chunk_bytes=chunk, pipeline_threshold=min(chunk, 64 * KiB),
+                       tbuf_chunks=64, use_plans=True)
+
+
+class TestCollectiveContext:
+    """Context-qualified entries: key shape, resolution ladder, counters."""
+
+    def test_ctx_exact_preferred_over_ctx_free(self):
+        table = make_table(**{str(64 * KiB): 16 * KiB})
+        table.set(SIG, 64 * KiB, ctx_entry(32 * KiB), ctx="coll:f4")
+        entry, nearest, via_ctx = table.resolve_ctx(SIG, 64 * KiB, "coll:f4")
+        assert entry.chunk_bytes == 32 * KiB
+        assert via_ctx and not nearest
+        # The ctx-free resolution is untouched by the context row.
+        entry, nearest, via_ctx = table.resolve_ctx(SIG, 64 * KiB, "")
+        assert entry.chunk_bytes == 16 * KiB
+        assert not via_ctx
+
+    def test_ctx_nearest_bucket(self):
+        table = TuningTable("abc123")
+        table.set(SIG, 64 * KiB, ctx_entry(32 * KiB), ctx="coll:f4")
+        entry, nearest, via_ctx = table.resolve_ctx(SIG, 128 * KiB, "coll:f4")
+        assert entry.chunk_bytes == 32 * KiB
+        assert via_ctx and nearest
+
+    def test_ctx_miss_falls_back_to_ctx_free(self):
+        table = make_table(**{str(64 * KiB): 16 * KiB})
+        entry, nearest, via_ctx = table.resolve_ctx(SIG, 64 * KiB, "coll:f8")
+        assert entry.chunk_bytes == 16 * KiB
+        assert not via_ctx and not nearest
+        # ...including the ctx-free nearest-bucket rung.
+        entry, nearest, via_ctx = table.resolve_ctx(SIG, 128 * KiB, "coll:f8")
+        assert entry.chunk_bytes == 16 * KiB
+        assert not via_ctx and nearest
+
+    def test_other_ctx_never_leaks(self):
+        table = TuningTable("abc123")
+        table.set(SIG, 64 * KiB, ctx_entry(32 * KiB), ctx="coll:f4")
+        entry, nearest, via_ctx = table.resolve_ctx(SIG, 64 * KiB, "coll:f8")
+        assert entry is None
+        assert table.resolve(SIG, 64 * KiB) == (None, False)
+
+    def test_resolve_matches_empty_ctx(self):
+        table = make_table(**{str(64 * KiB): 16 * KiB})
+        assert table.resolve(SIG, 64 * KiB) == \
+            table.resolve_ctx(SIG, 64 * KiB, "")[:2]
+
+    def test_roundtrip_with_ctx(self, tmp_path):
+        table = make_table(**{str(64 * KiB): 16 * KiB})
+        table.set(SIG, 64 * KiB, ctx_entry(32 * KiB), ctx="coll:f4")
+        loaded = TuningTable.load(table.save(tmp_path / "t.json"))
+        assert loaded.entries == table.entries
+        assert loaded.resolve_ctx(SIG, 64 * KiB, "coll:f4")[0].chunk_bytes \
+            == 32 * KiB
+
+    def test_from_json_rejects_unknown_ctx(self):
+        with pytest.raises(TuningTableError, match="context"):
+            TuningTable.from_json({
+                "schema": 1, "cluster": "x",
+                "entries": {"uniform:w4:p8|s65536|weird:f4": {
+                    "chunk_bytes": 1024, "pipeline_threshold": 1024,
+                    "tbuf_chunks": 1, "use_plans": True,
+                }},
+            })
+
+    def test_coll_tuned_hit_counter(self):
+        vec = Datatype.hvector(1024, 4, 8, BYTE).commit()
+        table = TuningTable("abc123")
+        table.set(vec.layout_signature(1), 4 * KiB, ctx_entry(16 * KiB),
+                  ctx="coll:f4")
+        before = PERF.snapshot().get("coll_tuned_hit", 0)
+        assert tuned_chunk_pref(table, vec, 1, 4 * KiB, cap=64 * KiB,
+                                ctx="coll:f4") == 16 * KiB
+        assert PERF.snapshot().get("coll_tuned_hit", 0) == before + 1
+        # A ctx-free resolution of the same shape must not bump it.
+        table.set(vec.layout_signature(1), 4 * KiB, ctx_entry(16 * KiB))
+        assert tuned_chunk_pref(table, vec, 1, 4 * KiB,
+                                cap=64 * KiB) == 16 * KiB
+        assert PERF.snapshot().get("coll_tuned_hit", 0) == before + 1
